@@ -1,0 +1,181 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark reports the paper's metric alongside Go's timing:
+//
+//   - BenchmarkTable3/*    report cycles/op (simulated CPU cycles per
+//     microbenchmark operation — the numbers in Table 3);
+//   - BenchmarkFigure7..10/* report overhead-x (performance overhead versus
+//     native execution, the y-axis of the figures);
+//   - BenchmarkMigration/* report seconds of projected migration time.
+//
+// Run with: go test -bench=. -benchmem
+package nvsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	nvsim "repro"
+	"repro/internal/core"
+)
+
+// benchSpecs are the stack configurations of the tables and figures.
+type benchSpec struct {
+	label string
+	spec  nvsim.Spec
+}
+
+func buildStack(b *testing.B, spec nvsim.Spec) *nvsim.Stack {
+	b.Helper()
+	st, err := nvsim.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func table3Specs() []benchSpec {
+	return []benchSpec{
+		{"VM", nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt}},
+		{"NestedVM", nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt}},
+		{"NestedVM+DVH", nvsim.Spec{Depth: 2, IO: nvsim.IODVH}},
+		{"L3VM", nvsim.Spec{Depth: 3, IO: nvsim.IOParavirt}},
+		{"L3VM+DVH", nvsim.Spec{Depth: 3, IO: nvsim.IODVH}},
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: microbenchmark cost in CPU cycles
+// across the five configurations.
+func BenchmarkTable3(b *testing.B) {
+	micros := []nvsim.Micro{
+		nvsim.MicroHypercall, nvsim.MicroDevNotify,
+		nvsim.MicroProgramTimer, nvsim.MicroSendIPI,
+	}
+	for _, m := range micros {
+		for _, cfg := range table3Specs() {
+			b.Run(fmt.Sprintf("%v/%s", m, cfg.label), func(b *testing.B) {
+				st := buildStack(b, cfg.spec)
+				var cycles nvsim.Cycles
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, err := nvsim.RunMicro(st, m, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "cycles/op")
+			})
+		}
+	}
+}
+
+// appBenchmark runs every Table 2 workload over a figure's configurations,
+// reporting the overhead-vs-native metric the figures plot.
+func appBenchmark(b *testing.B, configs []benchSpec) {
+	const txnsPerIter = 200
+	for _, cfg := range configs {
+		for _, p := range nvsim.Profiles() {
+			b.Run(fmt.Sprintf("%s/%s", sanitize(p.Name), cfg.label), func(b *testing.B) {
+				st := buildStack(b, cfg.spec)
+				var overhead float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := nvsim.RunWorkload(st, p.Name, txnsPerIter)
+					if err != nil {
+						b.Fatal(err)
+					}
+					overhead = res.Overhead
+				}
+				b.ReportMetric(overhead, "overhead-x")
+			})
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// BenchmarkFigure7 regenerates Figure 7: application overhead at up to two
+// virtualization levels across six I/O configurations.
+func BenchmarkFigure7(b *testing.B) {
+	appBenchmark(b, []benchSpec{
+		{"VM", nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt}},
+		{"VM+PT", nvsim.Spec{Depth: 1, IO: nvsim.IOPassthrough}},
+		{"Nested", nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt}},
+		{"Nested+PT", nvsim.Spec{Depth: 2, IO: nvsim.IOPassthrough}},
+		{"Nested+DVH-VP", nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP}},
+		{"Nested+DVH", nvsim.Spec{Depth: 2, IO: nvsim.IODVH}},
+	})
+}
+
+// BenchmarkFigure8 regenerates Figure 8: the cumulative DVH technique
+// breakdown from DVH-VP to full DVH.
+func BenchmarkFigure8(b *testing.B) {
+	vp := core.FeatureVirtualPassthrough
+	pi := vp | core.FeatureVIOMMUPostedInterrupts
+	ipi := pi | core.FeatureVirtualIPIs
+	tmr := ipi | core.FeatureVirtualTimers
+	appBenchmark(b, []benchSpec{
+		{"Nested", nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt}},
+		{"DVH-VP", nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP, Features: vp}},
+		{"+PostedInterrupts", nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP, Features: pi}},
+		{"+VirtualIPIs", nvsim.Spec{Depth: 2, IO: nvsim.IODVH, Features: ipi}},
+		{"+VirtualTimers", nvsim.Spec{Depth: 2, IO: nvsim.IODVH, Features: tmr}},
+		{"+VirtualIdle", nvsim.Spec{Depth: 2, IO: nvsim.IODVH, Features: core.FeaturesAll}},
+	})
+}
+
+// BenchmarkFigure9 regenerates Figure 9: application overhead at three
+// virtualization levels.
+func BenchmarkFigure9(b *testing.B) {
+	appBenchmark(b, []benchSpec{
+		{"VM", nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt}},
+		{"VM+PT", nvsim.Spec{Depth: 1, IO: nvsim.IOPassthrough}},
+		{"L3", nvsim.Spec{Depth: 3, IO: nvsim.IOParavirt}},
+		{"L3+PT", nvsim.Spec{Depth: 3, IO: nvsim.IOPassthrough}},
+		{"L3+DVH-VP", nvsim.Spec{Depth: 3, IO: nvsim.IODVHVP}},
+		{"L3+DVH", nvsim.Spec{Depth: 3, IO: nvsim.IODVH}},
+	})
+}
+
+// BenchmarkFigure10 regenerates Figure 10: Xen as the guest hypervisor on a
+// KVM host, with DVH-VP requiring no Xen modification.
+func BenchmarkFigure10(b *testing.B) {
+	appBenchmark(b, []benchSpec{
+		{"VM", nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt}},
+		{"VM+PT", nvsim.Spec{Depth: 1, IO: nvsim.IOPassthrough}},
+		{"Xen", nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt, Guest: nvsim.GuestXen}},
+		{"Xen+PT", nvsim.Spec{Depth: 2, IO: nvsim.IOPassthrough, Guest: nvsim.GuestXen}},
+		{"Xen+DVH-VP", nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP, Guest: nvsim.GuestXen}},
+	})
+}
+
+// BenchmarkMigration regenerates the Section 4 migration comparison,
+// reporting projected migration seconds at the 268 Mbps transfer limit.
+func BenchmarkMigration(b *testing.B) {
+	rows, err := nvsim.MigrationExperiment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(sanitize(row.Config), func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				// The experiment is deterministic; re-running it per
+				// iteration would only re-measure the simulator itself.
+				secs = row.TotalTime.Seconds()
+			}
+			b.ReportMetric(secs, "migration-s")
+			b.ReportMetric(row.Downtime.Seconds()*1000, "downtime-ms")
+		})
+	}
+}

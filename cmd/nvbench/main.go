@@ -1,0 +1,163 @@
+// nvbench regenerates every table and figure of the paper's evaluation:
+//
+//	nvbench -all              # everything
+//	nvbench -table 3          # microbenchmark cycle costs
+//	nvbench -figure 7         # app overhead, two levels, six configs
+//	nvbench -figure 8         # DVH technique breakdown
+//	nvbench -figure 9         # app overhead, three levels
+//	nvbench -figure 10        # Xen guest hypervisor
+//	nvbench -experiment migration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a table (3)")
+	figure := flag.Int("figure", 0, "regenerate a figure (7, 8, 9, 10)")
+	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | latency)")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.StringVar(&format, "format", "table", "figure output format: table | chart | csv")
+	flag.Parse()
+	switch format {
+	case "table", "chart", "csv":
+	default:
+		fatalf("unknown -format %q", format)
+	}
+
+	if !*all && *table == 0 && *figure == 0 && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all || *table == 3 {
+		run("Table 3: microbenchmark performance in CPU cycles", table3)
+	} else if *table != 0 {
+		fatalf("unknown table %d (the paper's reproducible table is 3)", *table)
+	}
+	figures := map[int]func() (string, error){
+		7: func() (string, error) {
+			return appFigure("Figure 7: application performance (2 levels)", experiment.Figure7)
+		},
+		8: func() (string, error) {
+			return appFigure("Figure 8: application performance breakdown", experiment.Figure8)
+		},
+		9: func() (string, error) {
+			return appFigure("Figure 9: application performance in L3 VM", experiment.Figure9)
+		},
+		10: func() (string, error) {
+			return appFigure("Figure 10: application performance, Xen on KVM", experiment.Figure10)
+		},
+	}
+	if *all {
+		for _, n := range []int{7, 8, 9, 10} {
+			run("", figures[n])
+		}
+	} else if *figure != 0 {
+		fn, ok := figures[*figure]
+		if !ok {
+			fatalf("unknown figure %d (reproducible figures: 7, 8, 9, 10)", *figure)
+		}
+		run("", fn)
+	}
+	if *all || *exp == "migration" {
+		run("Migration (Section 4)", migration)
+	}
+	if *all || *exp == "depth" {
+		run("Depth sweep (Table 3 extended beyond the paper)", depthSweep)
+	}
+	if *all || *exp == "breakdown" {
+		run("Per-mechanism cycle attribution (the cause behind Figure 8)", breakdown)
+	}
+	if *all || *exp == "latency" {
+		run("Per-transaction latency tails", latency)
+	}
+	if !*all && *exp != "" && *exp != "migration" && *exp != "depth" && *exp != "breakdown" && *exp != "latency" {
+		fatalf("unknown experiment %q (available: migration, depth, breakdown, latency)", *exp)
+	}
+}
+
+// format selects figure rendering: the paper-style matrix, an ASCII bar
+// chart shaped like the figures, or CSV.
+var format string
+
+func run(title string, fn func() (string, error)) {
+	out, err := fn()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if title != "" {
+		fmt.Println(title)
+	}
+	fmt.Println(out)
+}
+
+func table3() (string, error) {
+	rows, err := experiment.Table3()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatTable3(rows), nil
+}
+
+func appFigure(title string, fn func() ([]experiment.AppResult, error)) (string, error) {
+	res, err := fn()
+	if err != nil {
+		return "", err
+	}
+	bars := make([]report.Bar, 0, len(res))
+	for _, r := range res {
+		bars = append(bars, report.Bar{Group: r.Workload, Series: r.Config, Value: r.Overhead})
+	}
+	switch format {
+	case "chart":
+		out := report.BarChart(title+" (overhead vs native)", bars, report.ChartOptions{Width: 50, Cap: 14, Unit: "x"})
+		return out + "\n" + report.FormatSummaries(report.Summarize(bars)), nil
+	case "csv":
+		return report.CSV(bars), nil
+	default:
+		return experiment.FormatAppResults(title, res), nil
+	}
+}
+
+func depthSweep() (string, error) {
+	rows, err := experiment.DepthSweep(4)
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatDepthSweep(rows), nil
+}
+
+func breakdown() (string, error) {
+	rows, err := experiment.Breakdown()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatBreakdown(rows), nil
+}
+
+func latency() (string, error) {
+	rows, err := experiment.LatencyTails()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatLatency(rows), nil
+}
+
+func migration() (string, error) {
+	rows, err := experiment.Migration()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatMigration(rows), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nvbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// nvtrace runs one Table 1 microbenchmark and dumps the exit accounting,
+// making exit multiplication (paper Figure 1a) directly visible: one nested
+// hypercall fans out into dozens of hardware exits, most of them the guest
+// hypervisor's own trapped VMREAD/VMWRITE/VMRESUME instructions.
+//
+//	nvtrace -depth 2 -micro Hypercall
+//	nvtrace -depth 3 -micro ProgramTimer -dvh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	depth := flag.Int("depth", 2, "virtualization depth (1-3)")
+	micro := flag.String("micro", "Hypercall", "microbenchmark: Hypercall | DevNotify | ProgramTimer | SendIPI")
+	dvh := flag.Bool("dvh", false, "enable DVH")
+	timeline := flag.Bool("timeline", false, "print the per-exit timeline, indented by handler level")
+	flag.Parse()
+
+	var m workload.Micro
+	switch *micro {
+	case "Hypercall":
+		m = workload.MicroHypercall
+	case "DevNotify":
+		m = workload.MicroDevNotify
+	case "ProgramTimer":
+		m = workload.MicroProgramTimer
+	case "SendIPI":
+		m = workload.MicroSendIPI
+	default:
+		fmt.Fprintf(os.Stderr, "nvtrace: unknown microbenchmark %q\n", *micro)
+		os.Exit(2)
+	}
+
+	io := experiment.IOParavirt
+	if *dvh {
+		if *depth < 2 {
+			fmt.Fprintln(os.Stderr, "nvtrace: DVH needs a nested VM (-depth >= 2)")
+			os.Exit(2)
+		}
+		io = experiment.IODVH
+	}
+	st, err := experiment.Build(experiment.Spec{Depth: *depth, IO: io})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	st.Machine.Stats.Reset()
+	if *timeline {
+		st.World.Tracer = trace.NewRecorder(4096)
+	}
+	cycles, err := workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s from L%d (dvh=%v): %v cycles\n\n", m, *depth, *dvh, cycles)
+	fmt.Print(st.Machine.Stats.String())
+	if *timeline {
+		fmt.Println("\nexit timeline:")
+		fmt.Print(st.World.Tracer.Timeline())
+	}
+}

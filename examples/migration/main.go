@@ -1,0 +1,76 @@
+// Migration: live-migrate a nested VM that uses DVH virtual-passthrough.
+// The guest hypervisor cannot see the pages the host-provided device DMAs
+// into, so it drives the host through the PCI *migration capability* (paper
+// Section 3.6) to capture device state and export the DMA dirty log. The
+// example migrates the same VM twice — with and without the capability — and
+// verifies the destination bytes, showing exactly the data loss the
+// capability exists to prevent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nvsim "repro"
+	"repro/internal/core"
+)
+
+func buildPair() (*nvsim.Stack, *nvsim.Stack) {
+	src, err := nvsim.Build(nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst, err := nvsim.Build(nvsim.Spec{Depth: 2, IO: nvsim.IODVHVP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src, dst
+}
+
+func migrateOnce(useCap bool) {
+	src, dst := buildPair()
+	vp, ok := src.DVH.VPStateOf(src.Net)
+	if !ok {
+		log.Fatal("no VP state for the assigned device")
+	}
+	plan := &nvsim.MigrationPlan{
+		VM:              src.Target,
+		Dest:            dst.Target,
+		VP:              []*core.VPState{vp},
+		UseMigrationCap: useCap,
+		Churn: nvsim.Churn{
+			WorkingSetPages: 8192, // 32 MiB hot set
+			CPUPagesPerSec:  1200,
+			DMAPagesPerSec:  600, // device DMA the guest hypervisor cannot see
+		},
+	}
+	rep, err := plan.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad, err := plan.VerifyDest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migration capability: %v\n", useCap)
+	fmt.Printf("  pre-copy rounds : %d\n", rep.Rounds)
+	fmt.Printf("  pages sent      : %d (%.1f MiB)\n", rep.PagesSent, float64(rep.BytesSent)/(1<<20))
+	fmt.Printf("  total time      : %v (at 268 Mbps)\n", rep.TotalTime.Round(1e6))
+	fmt.Printf("  downtime        : %v\n", rep.Downtime.Round(1e6))
+	fmt.Printf("  device state    : %d bytes captured\n", rep.DeviceStateBytes)
+	if len(bad) == 0 {
+		fmt.Printf("  destination     : verified byte-identical\n\n")
+	} else {
+		fmt.Printf("  destination     : CORRUPTED — %d pages diverge (DMA dirt never re-sent)\n\n", len(bad))
+	}
+}
+
+func main() {
+	fmt.Println("Live migration of a nested VM using DVH virtual-passthrough")
+	fmt.Println("------------------------------------------------------------")
+	migrateOnce(true)
+	migrateOnce(false)
+	fmt.Println("Device passthrough cannot migrate at all; DVH migrates correctly")
+	fmt.Println("because the host exports device state and DMA dirt through the")
+	fmt.Println("standardized PCI migration capability.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: build the paper's configurations and measure the four Table 1
+// microbenchmarks on each, reproducing the core result — exit multiplication
+// makes nested hardware accesses ~25x more expensive per level, and DVH
+// collapses them back to single-level cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nvsim "repro"
+)
+
+func main() {
+	configs := []struct {
+		label string
+		spec  nvsim.Spec
+	}{
+		{"VM", nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt}},
+		{"nested VM", nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt}},
+		{"nested VM + DVH", nvsim.Spec{Depth: 2, IO: nvsim.IODVH}},
+		{"L3 VM", nvsim.Spec{Depth: 3, IO: nvsim.IOParavirt}},
+		{"L3 VM + DVH", nvsim.Spec{Depth: 3, IO: nvsim.IODVH}},
+	}
+	micros := []nvsim.Micro{
+		nvsim.MicroHypercall, nvsim.MicroDevNotify,
+		nvsim.MicroProgramTimer, nvsim.MicroSendIPI,
+	}
+
+	fmt.Println("Microbenchmark cost in CPU cycles (paper Table 3):")
+	fmt.Printf("%-14s", "")
+	for _, c := range configs {
+		fmt.Printf(" %16s", c.label)
+	}
+	fmt.Println()
+
+	for _, m := range micros {
+		fmt.Printf("%-14s", m)
+		for _, c := range configs {
+			st, err := nvsim.Build(c.spec)
+			if err != nil {
+				log.Fatalf("building %s: %v", c.label, err)
+			}
+			cycles, err := nvsim.RunMicro(st, m, 8)
+			if err != nil {
+				log.Fatalf("%v on %s: %v", m, c.label, err)
+			}
+			fmt.Printf(" %16v", cycles)
+		}
+		fmt.Println()
+	}
+
+	// Show where the cycles went for one nested hypercall: the forwarded
+	// exit fans out into the guest hypervisor's own trapped instructions.
+	st, err := nvsim.Build(nvsim.Spec{Depth: 2, IO: nvsim.IOParavirt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Machine.Stats.Reset()
+	if _, err := nvsim.RunMicro(st, nvsim.MicroHypercall, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nExit accounting for ONE nested hypercall (exit multiplication):")
+	fmt.Print(st.Machine.Stats.String())
+}

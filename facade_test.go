@@ -1,0 +1,94 @@
+package nvsim_test
+
+import (
+	"strings"
+	"testing"
+
+	nvsim "repro"
+)
+
+func TestFacadeProfiles(t *testing.T) {
+	if len(nvsim.Profiles()) != 7 {
+		t.Fatalf("Profiles() returned %d workloads", len(nvsim.Profiles()))
+	}
+}
+
+func TestFacadeUnknownWorkload(t *testing.T) {
+	st, err := nvsim.Build(nvsim.Spec{Depth: 1, IO: nvsim.IOParavirt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = nvsim.RunWorkload(st, "Quake", 10)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	var uw *nvsim.UnknownWorkloadError
+	if !asUnknown(err, &uw) || uw.Name != "Quake" {
+		t.Fatalf("error type wrong: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Quake") {
+		t.Fatalf("error message: %v", err)
+	}
+}
+
+// asUnknown is errors.As without the import churn.
+func asUnknown(err error, target **nvsim.UnknownWorkloadError) bool {
+	if e, ok := err.(*nvsim.UnknownWorkloadError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestFacadeFeatureConstants(t *testing.T) {
+	if !nvsim.FeaturesAll.Has(nvsim.FeatureVirtualPassthrough |
+		nvsim.FeatureVIOMMUPostedInterrupts | nvsim.FeatureVirtualIPIs |
+		nvsim.FeatureVirtualTimers | nvsim.FeatureVirtualIdle |
+		nvsim.FeatureDirectTimerDelivery) {
+		t.Fatal("FeaturesAll missing mechanisms")
+	}
+	if nvsim.FeaturesVP.Has(nvsim.FeatureVirtualTimers) {
+		t.Fatal("FeaturesVP must be VP only")
+	}
+}
+
+func TestFacadeExperimentPassthrough(t *testing.T) {
+	rows, err := nvsim.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nvsim.FormatTable3(rows)
+	if !strings.Contains(out, "Hypercall") {
+		t.Fatal("FormatTable3 broken through the facade")
+	}
+	if _, ok := nvsim.OverheadOf(nil, "x", "y"); ok {
+		t.Fatal("OverheadOf on empty results")
+	}
+}
+
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	src, err := nvsim.Build(nvsim.Spec{Depth: 2, IO: nvsim.IODVH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := src.Target.AllocPages(1)
+	if err := src.Target.Memory().Write(addr, []byte("facade")); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := nvsim.Snapshot(src.Target, src.DVH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := nvsim.Build(nvsim.Spec{Depth: 2, IO: nvsim.IODVH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nvsim.RestoreSnapshot(dst.Target, dst.DVH, blob); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	dst.Target.Memory().Read(addr, buf)
+	if string(buf) != "facade" {
+		t.Fatalf("restored %q", buf)
+	}
+}

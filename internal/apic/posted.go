@@ -1,0 +1,68 @@
+package apic
+
+// PIDescriptor is a posted-interrupt descriptor: the in-memory structure a
+// sender fills to deliver an interrupt to a running vCPU without causing a VM
+// exit on the receiving side. The paper's virtual-IPI mechanism (Section 3.3)
+// keys its VCIMT entries to these descriptors so the host hypervisor can post
+// directly to a nested VM's destination vCPU.
+type PIDescriptor struct {
+	pir vecSet // posted-interrupt requests
+	// on is the outstanding-notification bit: set while a notification IPI is
+	// in flight, suppressing duplicates.
+	on bool
+	// ndst is the physical CPU the notification should be sent to; nvec is
+	// the host's notification vector.
+	ndst int
+	nvec Vector
+}
+
+// NewPIDescriptor returns a descriptor targeting physical CPU ndst.
+func NewPIDescriptor(ndst int) *PIDescriptor {
+	return &PIDescriptor{ndst: ndst, nvec: VectorPostedIntr}
+}
+
+// Post records vector v in the PIR and sets the outstanding-notification bit.
+// It reports whether a physical notification IPI must be sent (false when one
+// is already outstanding, the coalescing hardware performs).
+func (p *PIDescriptor) Post(v Vector) bool {
+	p.pir.set(v)
+	if p.on {
+		return false
+	}
+	p.on = true
+	return true
+}
+
+// Pending reports whether any posted vectors await sync.
+func (p *PIDescriptor) Pending() bool { return !p.pir.empty() }
+
+// Sync drains every posted vector into the target LAPIC's IRR and clears the
+// outstanding-notification bit — what the CPU (or the hypervisor, when the
+// vCPU was not running) does upon receiving the notification.
+func (p *PIDescriptor) Sync(l *LAPIC) int {
+	n := 0
+	for {
+		v, ok := p.pir.highest()
+		if !ok {
+			break
+		}
+		p.pir.clear(v)
+		l.Deliver(v)
+		n++
+	}
+	p.on = false
+	return n
+}
+
+// NDst returns the physical CPU notifications target.
+func (p *PIDescriptor) NDst() int { return p.ndst }
+
+// SetNDst retargets notifications, the update a hypervisor performs when it
+// migrates a vCPU to another physical CPU.
+func (p *PIDescriptor) SetNDst(cpu int) { p.ndst = cpu }
+
+// NotificationVector returns the host vector used for notification IPIs.
+func (p *PIDescriptor) NotificationVector() Vector { return p.nvec }
+
+// Outstanding reports whether a notification is in flight.
+func (p *PIDescriptor) Outstanding() bool { return p.on }

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DepthRow holds one microbenchmark's cost across virtualization depths,
+// with and without DVH.
+type DepthRow struct {
+	Micro string
+	// Forwarded[d-1] is the cost at depth d without DVH; DVH[d-1] with full
+	// DVH (depth 1 has no DVH variant; the plain cost is repeated).
+	Forwarded []sim.Cycles
+	DVH       []sim.Cycles
+}
+
+// DepthSweep extends Table 3 beyond the paper: microbenchmark cost from
+// depth 1 to maxDepth (the paper stops at 3 because KVM does; the simulator
+// extends the recursion). Without DVH every level multiplies cost ~24x;
+// with DVH the cost is flat in depth — the strongest form of the paper's
+// claim.
+func DepthSweep(maxDepth int) ([]DepthRow, error) {
+	if maxDepth < 1 || maxDepth > 4 {
+		return nil, fmt.Errorf("experiment: depth sweep supports 1..4, got %d", maxDepth)
+	}
+	var rows []DepthRow
+	for _, m := range workload.Micros() {
+		rows = append(rows, DepthRow{Micro: m.String()})
+	}
+	for depth := 1; depth <= maxDepth; depth++ {
+		plain, err := Build(Spec{Depth: depth, IO: IOParavirt})
+		if err != nil {
+			return nil, err
+		}
+		var dvh *Stack
+		if depth >= 2 {
+			dvh, err = Build(Spec{Depth: depth, IO: IODVH})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for mi, m := range workload.Micros() {
+			c, err := workload.RunMicro(plain.World, plain.Target.VCPUs[0], m, plain.Net, microIters)
+			if err != nil {
+				return nil, err
+			}
+			rows[mi].Forwarded = append(rows[mi].Forwarded, c)
+			if dvh == nil {
+				rows[mi].DVH = append(rows[mi].DVH, c)
+				continue
+			}
+			dc, err := workload.RunMicro(dvh.World, dvh.Target.VCPUs[0], m, dvh.Net, microIters)
+			if err != nil {
+				return nil, err
+			}
+			rows[mi].DVH = append(rows[mi].DVH, dc)
+		}
+	}
+	return rows, nil
+}
+
+// FormatDepthSweep renders the sweep as two blocks of per-depth columns.
+func FormatDepthSweep(rows []DepthRow) string {
+	if len(rows) == 0 {
+		return "(no data)\n"
+	}
+	depths := len(rows[0].Forwarded)
+	var b strings.Builder
+	b.WriteString("Microbenchmark cycles by virtualization depth (forwarded | DVH)\n")
+	fmt.Fprintf(&b, "%-14s", "")
+	for d := 1; d <= depths; d++ {
+		fmt.Fprintf(&b, " %24s", fmt.Sprintf("L%d", d))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Micro)
+		for d := 0; d < depths; d++ {
+			fmt.Fprintf(&b, " %24s", fmt.Sprintf("%v | %v", r.Forwarded[d], r.DVH[d]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// microIters and appTxns size the measurement runs. Costs are deterministic,
+// so small iteration counts already give exact averages; app runs use enough
+// transactions for the fractional access rates to converge.
+const (
+	microIters = 16
+	appTxns    = 1200
+)
+
+// Table3Row is one microbenchmark row of Table 3, in CPU cycles.
+type Table3Row struct {
+	Name    string
+	VM      sim.Cycles
+	Nested  sim.Cycles
+	NestedD sim.Cycles // nested + DVH
+	L3      sim.Cycles
+	L3D     sim.Cycles // L3 + DVH
+}
+
+// Table3 reproduces the paper's Table 3: microbenchmark cost in cycles for
+// VM, nested VM, nested VM + DVH, L3 VM, and L3 VM + DVH.
+func Table3() ([]Table3Row, error) {
+	specs := []Spec{
+		{Depth: 1, IO: IOParavirt},
+		{Depth: 2, IO: IOParavirt},
+		{Depth: 2, IO: IODVH},
+		{Depth: 3, IO: IOParavirt},
+		{Depth: 3, IO: IODVH},
+	}
+	cols := make([][]sim.Cycles, len(specs))
+	for i, spec := range specs {
+		st, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range workload.Micros() {
+			c, err := workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, microIters)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %v on %+v: %w", m, spec, err)
+			}
+			cols[i] = append(cols[i], c)
+		}
+	}
+	var rows []Table3Row
+	for mi, m := range workload.Micros() {
+		rows = append(rows, Table3Row{
+			Name:    m.String(),
+			VM:      cols[0][mi],
+			Nested:  cols[1][mi],
+			NestedD: cols[2][mi],
+			L3:      cols[3][mi],
+			L3D:     cols[4][mi],
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders Table 3 the way the paper prints it.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %12s %12s\n",
+		"", "VM", "nested VM", "nested+DVH", "L3 VM", "L3+DVH")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12v %12v %14v %12v %12v\n",
+			r.Name, r.VM, r.Nested, r.NestedD, r.L3, r.L3D)
+	}
+	return b.String()
+}
+
+// AppResult is one bar of an application figure.
+type AppResult struct {
+	Workload string
+	Config   string
+	Overhead float64 // relative to native; 1.0 = native speed
+	Score    float64 // projected metric in the workload's unit
+	Unit     string
+}
+
+// appConfig names a (depth, io, guest, features) bar.
+type appConfig struct {
+	label string
+	spec  Spec
+}
+
+// runApps measures every Table 2 workload on each configuration.
+func runApps(configs []appConfig) ([]AppResult, error) {
+	var out []AppResult
+	for _, cfg := range configs {
+		st, err := Build(cfg.spec)
+		if err != nil {
+			return nil, fmt.Errorf("building %s: %w", cfg.label, err)
+		}
+		for _, p := range workload.Profiles() {
+			r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
+			res, err := r.Run(appTxns)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", p.Name, cfg.label, err)
+			}
+			out = append(out, AppResult{
+				Workload: p.Name,
+				Config:   cfg.label,
+				Overhead: res.Overhead,
+				Score:    res.Score,
+				Unit:     p.Unit,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure7 reproduces application overhead at up to two virtualization
+// levels across the six I/O configurations of the paper's Figure 7.
+func Figure7() ([]AppResult, error) {
+	return runApps([]appConfig{
+		{"VM", Spec{Depth: 1, IO: IOParavirt}},
+		{"VM+passthrough", Spec{Depth: 1, IO: IOPassthrough}},
+		{"Nested VM", Spec{Depth: 2, IO: IOParavirt}},
+		{"Nested VM+passthrough", Spec{Depth: 2, IO: IOPassthrough}},
+		{"Nested VM+DVH-VP", Spec{Depth: 2, IO: IODVHVP}},
+		{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
+	})
+}
+
+// Figure8 reproduces the DVH technique breakdown: starting from DVH-VP,
+// each bar adds one mechanism, ending at full DVH.
+func Figure8() ([]AppResult, error) {
+	vp := core.FeatureVirtualPassthrough
+	return runApps([]appConfig{
+		{"Nested VM", Spec{Depth: 2, IO: IOParavirt}},
+		{"Nested VM+DVH-VP", Spec{Depth: 2, IO: IODVHVP, Features: vp}},
+		{"+posted interrupts", Spec{Depth: 2, IO: IODVHVP, Features: vp | core.FeatureVIOMMUPostedInterrupts}},
+		{"+virtual IPIs", Spec{Depth: 2, IO: IODVH, Features: vp | core.FeatureVIOMMUPostedInterrupts | core.FeatureVirtualIPIs}},
+		{"+virtual timers", Spec{Depth: 2, IO: IODVH, Features: vp | core.FeatureVIOMMUPostedInterrupts | core.FeatureVirtualIPIs | core.FeatureVirtualTimers}},
+		{"+virtual idle (= DVH)", Spec{Depth: 2, IO: IODVH, Features: core.FeaturesAll}},
+	})
+}
+
+// Figure9 reproduces application overhead at three virtualization levels.
+func Figure9() ([]AppResult, error) {
+	return runApps([]appConfig{
+		{"VM", Spec{Depth: 1, IO: IOParavirt}},
+		{"VM+passthrough", Spec{Depth: 1, IO: IOPassthrough}},
+		{"L3", Spec{Depth: 3, IO: IOParavirt}},
+		{"L3+passthrough", Spec{Depth: 3, IO: IOPassthrough}},
+		{"L3+DVH-VP", Spec{Depth: 3, IO: IODVHVP}},
+		{"L3+DVH", Spec{Depth: 3, IO: IODVH}},
+	})
+}
+
+// Figure10 reproduces the Xen-on-KVM experiment: Xen as the guest
+// hypervisor, DVH-VP used without any Xen modification.
+func Figure10() ([]AppResult, error) {
+	return runApps([]appConfig{
+		{"VM", Spec{Depth: 1, IO: IOParavirt}},
+		{"VM+passthrough", Spec{Depth: 1, IO: IOPassthrough}},
+		{"Nested VM (Xen)", Spec{Depth: 2, IO: IOParavirt, Guest: GuestXen}},
+		{"Nested VM (Xen)+passthrough", Spec{Depth: 2, IO: IOPassthrough, Guest: GuestXen}},
+		{"Nested VM (Xen)+DVH-VP", Spec{Depth: 2, IO: IODVHVP, Guest: GuestXen}},
+	})
+}
+
+// FormatAppResults renders a figure's results as a workload x config matrix
+// of overheads, the shape the paper's bar charts plot.
+func FormatAppResults(title string, results []AppResult) string {
+	var configs []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.Config] {
+			seen[r.Config] = true
+			configs = append(configs, r.Config)
+		}
+	}
+	byKey := map[string]AppResult{}
+	for _, r := range results {
+		byKey[r.Workload+"|"+r.Config] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (overhead vs native; 1.0 = native speed)\n", title)
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, c := range configs {
+		fmt.Fprintf(&b, " %22s", c)
+	}
+	b.WriteByte('\n')
+	for _, p := range workload.Profiles() {
+		fmt.Fprintf(&b, "%-16s", p.Name)
+		for _, c := range configs {
+			r, ok := byKey[p.Name+"|"+c]
+			if !ok {
+				fmt.Fprintf(&b, " %22s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %22.2f", r.Overhead)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// OverheadOf extracts one bar from a result set.
+func OverheadOf(results []AppResult, workloadName, config string) (float64, bool) {
+	for _, r := range results {
+		if r.Workload == workloadName && r.Config == config {
+			return r.Overhead, true
+		}
+	}
+	return 0, false
+}

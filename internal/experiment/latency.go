@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// LatencyRow reports one configuration's per-transaction latency
+// distribution for a workload — an extension of the paper's throughput
+// numbers: exit multiplication does not just lower the mean, it stretches
+// the tail, because transactions that happen to hit a timer re-arm or an
+// idle transition stack several forwarded exits.
+type LatencyRow struct {
+	Workload string
+	Config   string
+	P50      sim.Cycles
+	P99      sim.Cycles
+	Max      sim.Cycles
+	MeanUS   float64 // mean latency in microseconds at the platform clock
+}
+
+// LatencyTails measures the request-latency distribution of the
+// latency-bound workloads under the nested baseline and full DVH.
+func LatencyTails() ([]LatencyRow, error) {
+	configs := []appConfig{
+		{"Nested VM", Spec{Depth: 2, IO: IOParavirt}},
+		{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
+	}
+	workloads := []string{"Netperf RR", "Memcached", "Apache"}
+	var rows []LatencyRow
+	for _, cfg := range configs {
+		st, err := Build(cfg.spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range workloads {
+			p, ok := workload.ProfileByName(name)
+			if !ok {
+				return nil, fmt.Errorf("experiment: unknown workload %q", name)
+			}
+			r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
+			res, err := r.Run(appTxns)
+			if err != nil {
+				return nil, err
+			}
+			hz := float64(st.Machine.ClockHz)
+			rows = append(rows, LatencyRow{
+				Workload: name,
+				Config:   cfg.label,
+				P50:      res.Latency.Quantile(0.50),
+				P99:      res.Latency.Quantile(0.99),
+				Max:      res.Latency.Max(),
+				MeanUS:   res.Latency.Mean() / hz * 1e6,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatLatency renders the distribution table.
+func FormatLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	b.WriteString("Per-transaction latency (cycles; log2-bucket upper bounds)\n")
+	fmt.Fprintf(&b, "%-14s %-18s %12s %12s %12s %10s\n", "workload", "config", "p50<=", "p99<=", "max", "mean(us)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-18s %12v %12v %12v %10.1f\n",
+			r.Workload, r.Config, r.P50, r.P99, r.Max, r.MeanUS)
+	}
+	return b.String()
+}

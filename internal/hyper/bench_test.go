@@ -1,0 +1,40 @@
+package hyper
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// BenchmarkExecute measures the simulator's own (host wall-clock) speed for
+// the hot Execute path at each depth — the cost of running the model, not
+// the modeled cost.
+func BenchmarkExecute(b *testing.B) {
+	for _, depth := range []int{1, 2, 3} {
+		b.Run(vmName(depth), func(b *testing.B) {
+			w, vms := testStack(b, depth)
+			v := vms[depth-1].VCPUs[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Execute(v, Hypercall()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGuestMemoryWrite(b *testing.B) {
+	_, vms := testStack(b, 2)
+	gm := vms[1].Memory()
+	buf := make([]byte, 4096)
+	addr := vms[1].AllocPages(256)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gm.Write(addr+mem.Addr((i&0xff)*mem.PageSize), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

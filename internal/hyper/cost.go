@@ -1,0 +1,137 @@
+package hyper
+
+import "repro/internal/sim"
+
+// CostModel holds the calibrated cycle costs of the primitive events every
+// simulated path is composed from. Only single-level costs are calibrated —
+// against the paper's Table 3 "VM" column on the Xeon Silver 4114 testbed —
+// and everything nested emerges from the forwarding recursion in World.
+type CostModel struct {
+	// HwExit is a physical VM exit: guest state save, root-mode switch.
+	HwExit sim.Cycles
+	// HwEntry is a physical VM entry back into guest mode.
+	HwEntry sim.Cycles
+	// HostDispatch is the host hypervisor's fixed per-exit dispatch overhead
+	// (reason decode, handler lookup). Together HwExit + HostDispatch +
+	// HwEntry reproduce the 1,575-cycle single-level null hypercall.
+	HostDispatch sim.Cycles
+
+	// ShadowVMAccess is a guest hypervisor VMREAD/VMWRITE satisfied by the
+	// shadow VMCS without exiting (VMCS shadowing hardware).
+	ShadowVMAccess sim.Cycles
+	// NativeVMAccess is a VMREAD/VMWRITE executed in root mode.
+	NativeVMAccess sim.Cycles
+	// PrivEmulWork is the host-side work to emulate one simple privileged
+	// virtualization instruction (beyond dispatch).
+	PrivEmulWork sim.Cycles
+	// ReflectWork is the host-side work to reflect an exit into a guest
+	// hypervisor: constructing the virtual exit, vmcs12 exit fields, control
+	// transfer bookkeeping.
+	ReflectWork sim.Cycles
+	// ResumeMergeWork is the host-side work to emulate a guest hypervisor's
+	// VMRESUME: merging its VMCS into the one the hardware runs (vmcs02
+	// construction), consistency checks.
+	ResumeMergeWork sim.Cycles
+
+	// TimerProgramWork is hrtimer programming at the host (single-level
+	// ProgramTimer: HwExit + HostDispatch + TimerProgramWork + HwEntry).
+	TimerProgramWork sim.Cycles
+	// TimerOffsetWork is the per-nesting-level TSC offset combination DVH
+	// virtual timers perform.
+	TimerOffsetWork sim.Cycles
+	// DVHTimerCheckWork is the control-bit check plus virtual-timer state
+	// access when the host handles a nested VM's timer write directly.
+	DVHTimerCheckWork sim.Cycles
+
+	// IPIEmulWork is ICR decode plus posted-interrupt descriptor update plus
+	// the physical IPI send.
+	IPIEmulWork sim.Cycles
+	// WakeWork is unblocking an idle destination vCPU and switching the
+	// destination CPU into it.
+	WakeWork sim.Cycles
+	// GuestWakeWork is the per-level guest hypervisor reschedule-and-reenter
+	// work when a vCPU it parked is woken (the emulated entry plus scheduler
+	// bookkeeping; shadowed accesses keep it far below a forwarded exit).
+	GuestWakeWork sim.Cycles
+	// VCIMTLookupWork is the DVH virtual-IPI table walk: reading the guest
+	// hypervisor's mapping table entry and locating the PI descriptor.
+	VCIMTLookupWork sim.Cycles
+	// VCIMTPerLevelWork is the additional translation cost per extra nesting
+	// level under recursive DVH.
+	VCIMTPerLevelWork sim.Cycles
+
+	// VirtioBackendWork is a virtio backend servicing one doorbell kick:
+	// ring pop, payload handling, physical device interaction (vhost-style).
+	// Single-level DevNotify: HwExit + HostDispatch + VirtioBackendWork +
+	// HwEntry.
+	VirtioBackendWork sim.Cycles
+	// EPTWalkPerLevel is the software EPT walk cost per radix level the host
+	// pays to validate a virtual-passthrough MMIO fault (the overhead the
+	// paper attributes to DVH DevNotify in Section 4).
+	EPTWalkPerLevel sim.Cycles
+	// EPTFillWork is installing one missing EPT translation (page allocation
+	// plus table fill) when handling a memory fault.
+	EPTFillWork sim.Cycles
+	// TLBHitCost is a mapped memory access (no exit).
+	TLBHitCost sim.Cycles
+	// DVHCheckWork is the host's extra bookkeeping on exits it still must
+	// forward when DVH is enabled (explains DVH's slightly costlier nested
+	// hypercall in Table 3).
+	DVHCheckWork sim.Cycles
+
+	// HLTBlockWork is host-side blocking of an idle vCPU.
+	HLTBlockWork sim.Cycles
+	// InjectPostedRunning is interrupt delivery to a running vCPU via a
+	// posted interrupt (no exit on the receiving side).
+	InjectPostedRunning sim.Cycles
+	// InjectExitPath is interrupt delivery requiring an exit-and-inject on
+	// the destination (no posted-interrupt support on that path).
+	InjectExitPath sim.Cycles
+	// MMIODirect is an uninterposed MMIO write to a passed-through physical
+	// device (posted write, no exit).
+	MMIODirect sim.Cycles
+}
+
+// DefaultCosts returns the calibrated model. Anchors (paper Table 3, "VM"
+// column): Hypercall 1,575; DevNotify 4,984; ProgramTimer 2,005;
+// SendIPI 3,273 cycles.
+func DefaultCosts() CostModel {
+	return CostModel{
+		HwExit:       750,
+		HwEntry:      600,
+		HostDispatch: 225, // 750+225+600 = 1,575 (Hypercall, VM)
+
+		ShadowVMAccess:  40,
+		NativeVMAccess:  30,
+		PrivEmulWork:    350,
+		ReflectWork:     900,
+		ResumeMergeWork: 1200,
+
+		TimerProgramWork:  430, // 1,575 + 430 = 2,005 (ProgramTimer, VM)
+		TimerOffsetWork:   150,
+		DVHTimerCheckWork: 1000,
+
+		IPIEmulWork:       700,
+		WakeWork:          998, // 1,575 + 700 + 998 = 3,273 (SendIPI, VM)
+		GuestWakeWork:     2800,
+		VCIMTLookupWork:   1845,
+		VCIMTPerLevelWork: 110,
+
+		VirtioBackendWork: 3409, // 1,575 + 3,409 = 4,984 (DevNotify, VM)
+		EPTWalkPerLevel:   2200,
+		EPTFillWork:       1800,
+		TLBHitCost:        20,
+		DVHCheckWork:      250,
+
+		HLTBlockWork:        800,
+		InjectPostedRunning: 300,
+		InjectExitPath:      2400,
+		MMIODirect:          250,
+	}
+}
+
+// HostExitCost is the canonical cost of an exit handled entirely at the host
+// hypervisor with the given handler work.
+func (c *CostModel) HostExitCost(work sim.Cycles) sim.Cycles {
+	return c.HwExit + c.HostDispatch + work + c.HwEntry
+}

@@ -1,0 +1,233 @@
+package hyper
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+	"repro/internal/mem"
+	"repro/internal/pci"
+	"repro/internal/virtio"
+)
+
+// DeviceClass distinguishes the modeled device types.
+type DeviceClass int
+
+const (
+	// DevNet is a network device.
+	DevNet DeviceClass = iota
+	// DevBlk is a block device.
+	DevBlk
+)
+
+// AssignedDevice is a device as seen by one VM: which model backs it, which
+// hypervisor level emulates it (or none, for physical passthrough), where its
+// doorbell lives in the VM's physical address space, and how its completion
+// interrupts reach the VM. The four I/O configurations of the paper map to:
+//
+//   - paravirtual:          ProviderLevel = VM.Level-1, Lower chains downward
+//   - device passthrough:   Phys set, ProviderLevel = -1 (no interposition)
+//   - virtual-passthrough:  ProviderLevel = 0 for a VM.Level >= 2, VP = true
+//   - non-nested virtual:   ProviderLevel = 0 for a VM.Level == 1
+type AssignedDevice struct {
+	Name  string
+	Class DeviceClass
+	VM    *VM
+
+	// Net/Blk back virtual devices; Phys backs passthrough.
+	Net  *virtio.NetDevice
+	Blk  *virtio.BlkDevice
+	Phys *pci.Function
+
+	// ProviderLevel is the hypervisor level that emulates the device; -1
+	// means real hardware (passthrough).
+	ProviderLevel int
+	// VP marks host-provided devices directly assigned to a nested VM.
+	VP bool
+	// Lower is the device the provider itself uses to reach the hardware
+	// (the paravirtual cascade); nil when the provider is L0 or physical.
+	Lower *AssignedDevice
+
+	// Doorbell is the queue-notify MMIO window in the VM's physical space.
+	Doorbell     mem.Addr
+	DoorbellSize mem.Addr
+	// IRQ is the completion interrupt vector.
+	IRQ apic.Vector
+	// PostedDelivery reports that completion interrupts reach the VM's vCPU
+	// without an exit on the delivery path (APICv/posted interrupts for
+	// host-provided devices, VT-d posting for passthrough, vIOMMU posting
+	// for virtual-passthrough).
+	PostedDelivery bool
+	// DMAView is the memory view the device's backend uses for ring and
+	// payload access: the VM's own memory for an ordinary virtual device, a
+	// vIOMMU-translating view for virtual-passthrough.
+	DMAView virtio.DMA
+}
+
+// Virtual reports whether the device is emulated (as opposed to physical).
+func (d *AssignedDevice) Virtual() bool { return d.Phys == nil }
+
+// FindDeviceByDoorbell locates the device owning an MMIO address.
+func (vm *VM) FindDeviceByDoorbell(a mem.Addr) *AssignedDevice {
+	for _, d := range vm.Devices {
+		if a >= d.Doorbell && a < d.Doorbell+d.DoorbellSize {
+			return d
+		}
+	}
+	return nil
+}
+
+// FindDevice returns the first device of the given class.
+func (vm *VM) FindDevice(c DeviceClass) *AssignedDevice {
+	for _, d := range vm.Devices {
+		if d.Class == c {
+			return d
+		}
+	}
+	return nil
+}
+
+// AttachParavirtNet gives the VM a virtio-net device emulated by its own
+// hypervisor (the traditional virtual I/O model). For a nested VM this
+// builds the cascade: the provider's own net device becomes the lower link.
+func AttachParavirtNet(vm *VM, name string) (*AssignedDevice, error) {
+	doorbell := vm.AllocMMIO(mem.PageSize)
+	nd := virtio.NewNetDevice(name, doorbell)
+	vm.Bus.AutoAdd(nd.Fn)
+	if err := nd.Fn.Bind("virtio-net"); err != nil {
+		return nil, err
+	}
+	dev := &AssignedDevice{
+		Name:          name,
+		Class:         DevNet,
+		VM:            vm,
+		Net:           nd,
+		ProviderLevel: vm.Owner.Level,
+		Doorbell:      doorbell,
+		DoorbellSize:  mem.PageSize,
+		IRQ:           apic.VectorVirtioIRQ,
+		// Host-provided virtio with vhost uses posted interrupts; a guest
+		// hypervisor's device relies on its (emulated) APICv, which the host
+		// backs with real posted interrupts, so delivery into the VM is
+		// exit-free in both cases. The *sending* side cost depends on the
+		// provider level and is charged by the world engine.
+		PostedDelivery: true,
+	}
+	dev.DMAView = vm.Memory()
+	if err := programMSIX(nd.Device, dev.IRQ); err != nil {
+		return nil, err
+	}
+	if vm.Owner.Level > 0 {
+		hostVM := vm.Owner.HostVM
+		lower := hostVM.FindDevice(DevNet)
+		if lower == nil {
+			return nil, fmt.Errorf("hyper: %s: provider VM %s has no net device to back the cascade", name, hostVM.Name)
+		}
+		dev.Lower = lower
+	}
+	vm.Devices = append(vm.Devices, dev)
+	return dev, nil
+}
+
+// AttachParavirtBlk gives the VM a virtio-blk device emulated by its own
+// hypervisor, cascading like AttachParavirtNet for nested VMs.
+func AttachParavirtBlk(vm *VM, name string) (*AssignedDevice, error) {
+	doorbell := vm.AllocMMIO(mem.PageSize)
+	var bd *virtio.BlkDevice
+	if vm.Owner.Level == 0 {
+		bd = virtio.NewBlkDevice(name, doorbell, vm.Owner.Machine.SSD.Backing)
+	} else {
+		// A nested blk device ultimately stores into the same SSD through
+		// the cascade; the device model writes the backing store directly
+		// while the cost path charges each interposed level.
+		bd = virtio.NewBlkDevice(name, doorbell, vm.Owner.Machine.SSD.Backing)
+	}
+	vm.Bus.AutoAdd(bd.Fn)
+	if err := bd.Fn.Bind("virtio-blk"); err != nil {
+		return nil, err
+	}
+	dev := &AssignedDevice{
+		Name:           name,
+		Class:          DevBlk,
+		VM:             vm,
+		Blk:            bd,
+		ProviderLevel:  vm.Owner.Level,
+		Doorbell:       doorbell,
+		DoorbellSize:   mem.PageSize,
+		IRQ:            apic.VectorVirtioIRQ + 1,
+		PostedDelivery: true,
+	}
+	dev.DMAView = vm.Memory()
+	if err := programMSIX(bd.Device, dev.IRQ); err != nil {
+		return nil, err
+	}
+	if vm.Owner.Level > 0 {
+		lower := vm.Owner.HostVM.FindDevice(DevBlk)
+		if lower == nil {
+			return nil, fmt.Errorf("hyper: %s: provider VM %s has no blk device to back the cascade", name, vm.Owner.HostVM.Name)
+		}
+		dev.Lower = lower
+	}
+	vm.Devices = append(vm.Devices, dev)
+	return dev, nil
+}
+
+// programMSIX sets up a virtio device's per-queue interrupt vectors: queue
+// i uses vector base+i, as the guest's driver would program during probe.
+func programMSIX(d *virtio.Device, base apic.Vector) error {
+	for qi := 0; qi < d.NumQueues(); qi++ {
+		if err := d.MSIX.SetEntry(qi, uint64(qi), uint32(base)+uint32(qi)); err != nil {
+			return err
+		}
+	}
+	d.MSIX.SetEnabled(true)
+	return nil
+}
+
+// AttachPassthroughNIC assigns a physical SR-IOV virtual function to the VM
+// through the whole nesting chain (device passthrough baseline). Every
+// intermediate level must expose an IOMMU for its hypervisor to program; the
+// physical IOMMU's posted-interrupt support delivers completions without
+// exits, and doorbell MMIO is mapped straight through the EPT chain so kicks
+// never exit.
+func AttachPassthroughNIC(vm *VM, vf *pci.Function) (*AssignedDevice, error) {
+	if vf.VFParent == nil {
+		return nil, fmt.Errorf("hyper: %s is not an SR-IOV virtual function", vf.Name)
+	}
+	// Walk the chain from L1 up to the target VM, checking each level has an
+	// IOMMU its hypervisor can program for the assignment.
+	m := vm.Owner.Machine
+	if m.IOMMU == nil {
+		return nil, fmt.Errorf("hyper: passthrough to %s requires a physical IOMMU", vm.Name)
+	}
+	for cur := vm; cur.Owner.HostVM != nil; cur = cur.Owner.HostVM {
+		hostVM := cur.Owner.HostVM
+		if hostVM.VIOMMU == nil {
+			return nil, fmt.Errorf("hyper: passthrough to %s requires a virtual IOMMU in %s", vm.Name, hostVM.Name)
+		}
+	}
+	if vf.Driver() != "" {
+		return nil, fmt.Errorf("hyper: VF %s still bound to %s; unbind before assignment", vf.Name, vf.Driver())
+	}
+	if err := vf.Bind("vfio-pci"); err != nil {
+		return nil, err
+	}
+	dom := m.IOMMU.CreateDomain(vm.Name)
+	if err := m.IOMMU.Attach(vf, dom); err != nil {
+		return nil, err
+	}
+	doorbell := vm.AllocMMIO(mem.PageSize)
+	dev := &AssignedDevice{
+		Name:           vf.Name,
+		Class:          DevNet,
+		VM:             vm,
+		Phys:           vf,
+		ProviderLevel:  -1,
+		Doorbell:       doorbell,
+		DoorbellSize:   mem.PageSize,
+		IRQ:            apic.VectorVirtioIRQ,
+		PostedDelivery: m.IOMMU.PostedCapable(),
+	}
+	vm.Bus.AutoAdd(vf)
+	vm.Devices = append(vm.Devices, dev)
+	return dev, nil
+}

@@ -1,0 +1,91 @@
+package hyper
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestMemTouchFaultsOnce(t *testing.T) {
+	w, vms := testStack(t, 1)
+	v := vms[0].VCPUs[0]
+	addr := mem.Addr(100 * mem.PageSize)
+	stats := w.Host.Machine.Stats
+
+	first := exec(t, w, v, MemTouch(addr))
+	if first < 1000 {
+		t.Fatalf("first touch = %v cycles; should be an EPT violation", first)
+	}
+	if stats.TotalHardwareExits() == 0 {
+		t.Fatal("first touch did not exit")
+	}
+	before := stats.TotalHardwareExits()
+	second := exec(t, w, v, MemTouch(addr))
+	if second != w.Costs.TLBHitCost {
+		t.Fatalf("second touch = %v cycles, want TLB hit %v", second, w.Costs.TLBHitCost)
+	}
+	if stats.TotalHardwareExits() != before {
+		t.Fatal("second touch exited")
+	}
+	// Same page, different offset: still mapped.
+	third := exec(t, w, v, MemTouch(addr+123))
+	if third != w.Costs.TLBHitCost {
+		t.Fatalf("same-page touch = %v cycles", third)
+	}
+}
+
+func TestNestedMemTouchFaultsIntoGuestHypervisor(t *testing.T) {
+	w, vms := testStack(t, 2)
+	v := vms[1].VCPUs[0]
+	addr := mem.Addr(200 * mem.PageSize)
+	stats := w.Host.Machine.Stats
+	stats.Reset()
+
+	// Cold touch from L2: the L2 EPT (maintained by L1) misses → forwarded
+	// fault into the guest hypervisor.
+	first := exec(t, w, v, MemTouch(addr))
+	if first < 30_000 {
+		t.Fatalf("cold nested fault = %v cycles; should be a forwarded exit", first)
+	}
+	if stats.TotalHandledAt(1) == 0 {
+		t.Fatal("fault never reached the guest hypervisor")
+	}
+	// L1 filled its level; the L1 EPT (host-maintained) may now miss for the
+	// backing page — a host-owned fault, then warm.
+	second := exec(t, w, v, MemTouch(addr))
+	if second >= first {
+		t.Fatalf("second touch (%v) should be far below the forwarded fault (%v)", second, first)
+	}
+	third := exec(t, w, v, MemTouch(addr))
+	if third != w.Costs.TLBHitCost {
+		t.Fatalf("warm touch = %v cycles", third)
+	}
+}
+
+func TestMemTouchFaultLevelsResolveInOrder(t *testing.T) {
+	w, vms := testStack(t, 3)
+	v := vms[2].VCPUs[0]
+	addr := mem.Addr(300 * mem.PageSize)
+	// Each touch resolves exactly one missing level, innermost first:
+	// L2's EPT (owner 2), then L1's (owner 1), then the host's (owner 0).
+	var prev sim.Cycles
+	for i := 0; i < 3; i++ {
+		c := exec(t, w, v, MemTouch(addr))
+		if i > 0 && c >= prev {
+			t.Fatalf("fault %d (%v) should be cheaper than fault %d (%v): owners descend", i, c, i-1, prev)
+		}
+		prev = c
+	}
+	if c := exec(t, w, v, MemTouch(addr)); c != w.Costs.TLBHitCost {
+		t.Fatalf("after three fills, touch = %v", c)
+	}
+}
+
+func TestMemTouchBeyondRAMErrors(t *testing.T) {
+	w, vms := testStack(t, 1)
+	v := vms[0].VCPUs[0]
+	if _, err := w.Execute(v, MemTouch(mem.Addr(vms[0].NumPages)*mem.PageSize)); err == nil {
+		t.Fatal("touch beyond RAM should fail")
+	}
+}

@@ -1,0 +1,102 @@
+// Package hyper implements the hypervisor substrate the paper's DVH
+// mechanisms plug into: a KVM-style hypervisor model with virtual machines at
+// arbitrary nesting depth, vCPUs pinned to physical CPUs, trap-and-emulate
+// exit handling, and — critically — *nested exit forwarding*, where an exit
+// owned by a guest hypervisor is reflected up the stack and every privileged
+// operation that guest hypervisor executes is itself an exit handled one
+// level below. Exit multiplication (paper Figure 1a) is an emergent property
+// of this recursion, not a constant.
+//
+// The cost of every path is charged from a calibrated CostModel whose only
+// anchored numbers are single-level (non-nested) costs from the paper's
+// Table 3 "VM" column; all nested costs are outputs of the forwarding
+// recursion.
+package hyper
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+	"repro/internal/mem"
+)
+
+// OpKind classifies the guest operations that reach hardware and may trap.
+type OpKind int
+
+const (
+	// OpHypercall is a VMCALL to the guest's own hypervisor. DVH never helps
+	// here: the whole point is to reach the guest hypervisor.
+	OpHypercall OpKind = iota
+	// OpDevNotify is an MMIO write to a device doorbell (virtio queue kick).
+	OpDevNotify
+	// OpTimerProgram is a WRMSR of IA32_TSC_DEADLINE arming the LAPIC timer.
+	OpTimerProgram
+	// OpSendIPI is a write to the LAPIC interrupt command register.
+	OpSendIPI
+	// OpHLT enters low-power idle.
+	OpHLT
+	// OpEOI signals end-of-interrupt (virtualized by APICv; free when
+	// register virtualization is on, otherwise an APIC access exit).
+	OpEOI
+	// OpMemTouch is an ordinary memory access: free once mapped, but the
+	// first touch of a page faults into whichever hypervisor maintains the
+	// missing EPT level — for a nested VM usually the guest hypervisor,
+	// making cold-start paging another exit-multiplication victim.
+	OpMemTouch
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpHypercall:
+		return "Hypercall"
+	case OpDevNotify:
+		return "DevNotify"
+	case OpTimerProgram:
+		return "ProgramTimer"
+	case OpSendIPI:
+		return "SendIPI"
+	case OpHLT:
+		return "HLT"
+	case OpEOI:
+		return "EOI"
+	case OpMemTouch:
+		return "MemTouch"
+	}
+	return fmt.Sprintf("Op(%d)", int(k))
+}
+
+// Op is one guest operation presented to the execution engine.
+type Op struct {
+	Kind OpKind
+	// Addr is the target address for OpDevNotify (a doorbell MMIO address).
+	Addr mem.Addr
+	// ICR carries the destination vCPU and vector for OpSendIPI.
+	ICR apic.ICR
+	// Deadline is the TSC deadline for OpTimerProgram, in absolute simulated
+	// cycles (guest TSC; offsets are applied by whoever emulates the timer).
+	Deadline uint64
+}
+
+// Hypercall builds a hypercall op.
+func Hypercall() Op { return Op{Kind: OpHypercall} }
+
+// DevNotify builds a doorbell write to the given MMIO address.
+func DevNotify(addr mem.Addr) Op { return Op{Kind: OpDevNotify, Addr: addr} }
+
+// ProgramTimer builds a TSC-deadline write.
+func ProgramTimer(deadline uint64) Op { return Op{Kind: OpTimerProgram, Deadline: deadline} }
+
+// SendIPI builds an ICR write targeting a vCPU of the sender's VM.
+func SendIPI(destVCPU uint32, vec apic.Vector) Op {
+	return Op{Kind: OpSendIPI, ICR: apic.EncodeICR(destVCPU, vec)}
+}
+
+// Halt builds an HLT.
+func Halt() Op { return Op{Kind: OpHLT} }
+
+// EOI builds an end-of-interrupt.
+func EOI() Op { return Op{Kind: OpEOI} }
+
+// MemTouch builds an ordinary memory access to the given guest-physical
+// address.
+func MemTouch(addr mem.Addr) Op { return Op{Kind: OpMemTouch, Addr: addr} }

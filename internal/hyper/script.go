@@ -1,0 +1,113 @@
+package hyper
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vmx"
+)
+
+// Script describes the privileged-operation footprint of one hypervisor code
+// path. When the hypervisor runs at L0, every element is cheap native work;
+// when it runs as a guest hypervisor, each VMAccess is elided only if a
+// shadow VMCS backs it (and only at L1 — hardware shadows a single level)
+// and each PrivOp is a trapped instruction whose emulation recurses one
+// level down. This is the mechanism that turns a ~1.5k-cycle exit into a
+// ~40k-cycle one at L2 and a ~900k-cycle one at L3.
+type Script struct {
+	// VMAccesses counts VMREAD/VMWRITE operations (shadow-eligible).
+	VMAccesses int
+	// PrivOps counts unshadowable privileged operations: VMPTRLD, INVEPT,
+	// INVVPID, MSR context switches, APIC accesses, interrupt-window
+	// manipulation.
+	PrivOps int
+	// SoftWork is ordinary computation at the hypervisor's own speed.
+	SoftWork sim.Cycles
+	// Resume marks scripts that end by re-entering a guest (VMRESUME), whose
+	// emulation at the level below includes the VMCS merge.
+	Resume bool
+}
+
+// Personality captures how a particular hypervisor implementation (KVM, Xen)
+// behaves as a *guest* hypervisor: the footprint of its exit handlers, its
+// exit-reflection path for deeper nesting, and its emulation paths for the
+// virtualization instructions of hypervisors nested inside it.
+type Personality interface {
+	// Name identifies the implementation.
+	Name() string
+	// HandlerScript is the path run when this hypervisor owns an exit with
+	// the given reason (includes its world-switch in/out bookkeeping).
+	HandlerScript(r vmx.ExitReason) Script
+	// ReflectScript is the path run to forward an exit it does not own
+	// further up its own nesting stack.
+	ReflectScript() Script
+	// EmulScript is the path run to emulate a single virtualization
+	// instruction executed by a hypervisor nested inside this one.
+	EmulScript(r vmx.ExitReason) Script
+	// InjectScript is the short path run to inject an interrupt into one of
+	// its guests (posted-interrupt request plus event bookkeeping) — much
+	// lighter than a full exit handler.
+	InjectScript() Script
+}
+
+// KVM is the Linux KVM personality, the implementation the paper modifies.
+// Footprints are sized so that the emergent nested costs land on Table 3:
+// a forwarded exit at L2 costs ~24x a single-level exit, and each additional
+// level multiplies by ~23x again.
+type KVM struct{}
+
+// Name implements Personality.
+func (KVM) Name() string { return "kvm" }
+
+// HandlerScript implements Personality. The footprint is dominated by the
+// vmcs12 synchronization KVM performs around every L2 exit it handles
+// (~100 field accesses — cheap under VMCS shadowing, ruinous without) plus
+// the unshadowable context switches (MSR save/restore, VMPTRLD switches,
+// TLB management, interrupt-window updates).
+func (KVM) HandlerScript(r vmx.ExitReason) Script {
+	s := Script{VMAccesses: 100, PrivOps: 15, SoftWork: 800, Resume: true}
+	switch r {
+	case vmx.ExitHLT:
+		// The idle path also runs the scheduler before blocking.
+		s.SoftWork += 600
+	case vmx.ExitEPTViolation:
+		// Fault decode and device-model dispatch before the backend runs.
+		s.SoftWork += 700
+	case vmx.ExitMSRWrite:
+		// Timer emulation path: deadline computation, hrtimer bookkeeping.
+		s.SoftWork += 500
+	case vmx.ExitAPICAccess:
+		// ICR emulation path: destination resolution in its vCPU table.
+		s.PrivOps++ // posted-interrupt send request
+		s.SoftWork += 400
+	}
+	return s
+}
+
+// ReflectScript implements Personality: the nested-exit reflection path
+// (prepare the next level's virtual exit, switch VMCS context, resume).
+func (KVM) ReflectScript() Script {
+	return Script{VMAccesses: 80, PrivOps: 10, SoftWork: 700, Resume: true}
+}
+
+// EmulScript implements Personality: emulating one virtualization
+// instruction for a nested hypervisor — field validation, a handful of VMCS
+// accesses, occasionally a flush — then resuming the nested hypervisor.
+func (KVM) EmulScript(r vmx.ExitReason) Script {
+	switch r {
+	case vmx.ExitVMRESUME, vmx.ExitVMLAUNCH:
+		// Entry emulation includes the full merge of the nested VMCS.
+		return Script{VMAccesses: 30, PrivOps: 2, SoftWork: 600, Resume: true}
+	case vmx.ExitINVEPT, vmx.ExitINVVPID:
+		return Script{VMAccesses: 6, PrivOps: 2, SoftWork: 400, Resume: true}
+	default: // VMREAD/VMWRITE/VMPTRLD and the miscellaneous trapped ops
+		return Script{VMAccesses: 8, PrivOps: 1, SoftWork: 300, Resume: true}
+	}
+}
+
+// InjectScript implements Personality: KVM's interrupt-injection path for a
+// nested guest — find the vCPU, update the posted-interrupt descriptor,
+// request the notification — far shorter than a full exit handler.
+func (KVM) InjectScript() Script {
+	return Script{VMAccesses: 30, PrivOps: 4, SoftWork: 500, Resume: true}
+}
+
+var _ Personality = KVM{}

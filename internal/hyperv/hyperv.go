@@ -1,0 +1,68 @@
+// Package hyperv provides a Hyper-V-style guest hypervisor personality. The
+// paper's introduction motivates nested virtualization partly through
+// Windows features — Credential Guard / VBS and legacy-app containers run a
+// built-in hypervisor that needs nesting when Windows itself runs in a VM.
+// This personality models such a hypervisor as a *guest*: enlightened
+// (paravirtualization-aware) where it helps, with a comparatively small
+// per-exit VMCS footprint but more unshadowable synthetic-MSR traffic.
+//
+// Like Xen, Hyper-V is not DVH-aware beyond virtual-passthrough, which works
+// unmodified because only the passthrough framework is exercised.
+package hyperv
+
+import (
+	"repro/internal/hyper"
+	"repro/internal/vmx"
+)
+
+// HyperV is the Hyper-V guest-hypervisor personality.
+type HyperV struct{}
+
+// Name implements hyper.Personality.
+func (HyperV) Name() string { return "hyperv" }
+
+// HandlerScript implements hyper.Personality. Hyper-V's enlightened VMCS
+// keeps the synchronized field set small, but its synthetic MSRs (hypercall
+// page, SynIC, reference TSC) add unshadowable traps around every exit.
+func (HyperV) HandlerScript(r vmx.ExitReason) hyper.Script {
+	s := hyper.Script{VMAccesses: 60, PrivOps: 17, SoftWork: 900, Resume: true}
+	switch r {
+	case vmx.ExitHLT:
+		s.SoftWork += 700
+	case vmx.ExitEPTViolation:
+		// VMBus-style device dispatch.
+		s.PrivOps++
+		s.SoftWork += 800
+	case vmx.ExitMSRWrite:
+		// Synthetic timer (SynIC STIMER) emulation path.
+		s.PrivOps++
+		s.SoftWork += 400
+	case vmx.ExitAPICAccess:
+		s.SoftWork += 450
+	}
+	return s
+}
+
+// ReflectScript implements hyper.Personality.
+func (HyperV) ReflectScript() hyper.Script {
+	return hyper.Script{VMAccesses: 55, PrivOps: 11, SoftWork: 800, Resume: true}
+}
+
+// EmulScript implements hyper.Personality.
+func (HyperV) EmulScript(r vmx.ExitReason) hyper.Script {
+	switch r {
+	case vmx.ExitVMRESUME, vmx.ExitVMLAUNCH:
+		return hyper.Script{VMAccesses: 22, PrivOps: 3, SoftWork: 650, Resume: true}
+	case vmx.ExitINVEPT, vmx.ExitINVVPID:
+		return hyper.Script{VMAccesses: 5, PrivOps: 2, SoftWork: 450, Resume: true}
+	default:
+		return hyper.Script{VMAccesses: 7, PrivOps: 1, SoftWork: 350, Resume: true}
+	}
+}
+
+// InjectScript implements hyper.Personality: SynIC message-slot delivery.
+func (HyperV) InjectScript() hyper.Script {
+	return hyper.Script{VMAccesses: 22, PrivOps: 4, SoftWork: 600, Resume: true}
+}
+
+var _ hyper.Personality = HyperV{}

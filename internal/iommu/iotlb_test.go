@@ -1,0 +1,110 @@
+package iommu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestIOTLBHitMiss(t *testing.T) {
+	u := New("vtd0", true)
+	d := u.CreateDomain("vm1")
+	f := dev("nic", 3)
+	u.Attach(f, d)
+	u.Map(d, 0x10, 0x99, mem.PermRW)
+
+	addr, cached, err := u.TranslateCached(f, 0x10*mem.PageSize+5, mem.PermRead)
+	if err != nil || cached {
+		t.Fatalf("first access: cached=%v err=%v", cached, err)
+	}
+	if addr != 0x99*mem.PageSize+5 {
+		t.Fatalf("translated to %#x", uint64(addr))
+	}
+	addr, cached, err = u.TranslateCached(f, 0x10*mem.PageSize+77, mem.PermRead)
+	if err != nil || !cached {
+		t.Fatalf("second access should hit: cached=%v err=%v", cached, err)
+	}
+	if addr != 0x99*mem.PageSize+77 {
+		t.Fatalf("cached translation wrong: %#x", uint64(addr))
+	}
+	if u.TLB().Hits != 1 || u.TLB().Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", u.TLB().Hits, u.TLB().Misses)
+	}
+}
+
+func TestIOTLBStaleEntryHazardAndInvalidate(t *testing.T) {
+	u := New("vtd0", true)
+	d := u.CreateDomain("vm1")
+	f := dev("nic", 3)
+	u.Attach(f, d)
+	u.Map(d, 0x10, 0x99, mem.PermRW)
+	if _, _, err := u.TranslateCached(f, 0x10*mem.PageSize, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	// Unmap without invalidation: the faithful hazard — the stale entry
+	// still translates.
+	u.Unmap(d, 0x10)
+	if _, cached, err := u.TranslateCached(f, 0x10*mem.PageSize, mem.PermRead); err != nil || !cached {
+		t.Fatalf("stale entry should still translate (the hazard): cached=%v err=%v", cached, err)
+	}
+	// Invalidation closes it.
+	u.InvalidatePage(d, 0x10)
+	if _, _, err := u.TranslateCached(f, 0x10*mem.PageSize, mem.PermRead); err == nil {
+		t.Fatal("translation survived unmap + invalidate")
+	}
+}
+
+func TestIOTLBDomainInvalidate(t *testing.T) {
+	u := New("vtd0", true)
+	d1, d2 := u.CreateDomain("a"), u.CreateDomain("b")
+	f1, f2 := dev("n1", 3), dev("n2", 4)
+	u.Attach(f1, d1)
+	u.Attach(f2, d2)
+	u.Map(d1, 1, 100, mem.PermRW)
+	u.Map(d2, 1, 200, mem.PermRW)
+	u.TranslateCached(f1, mem.PageSize, mem.PermRead)
+	u.TranslateCached(f2, mem.PageSize, mem.PermRead)
+	if u.TLB().Len() != 2 {
+		t.Fatalf("cached %d entries", u.TLB().Len())
+	}
+	u.InvalidateDomain(d1)
+	if u.TLB().Len() != 1 {
+		t.Fatal("domain invalidation removed the wrong entries")
+	}
+	// d2's entry survives.
+	if _, cached, _ := u.TranslateCached(f2, mem.PageSize, mem.PermRead); !cached {
+		t.Fatal("unrelated domain's entry was dropped")
+	}
+}
+
+func TestIOTLBEviction(t *testing.T) {
+	u := New("vtd0", true)
+	d := u.CreateDomain("vm")
+	f := dev("nic", 3)
+	u.Attach(f, d)
+	tlb := u.TLB()
+	for p := mem.PFN(0); p < 400; p++ {
+		u.Map(d, p, p+1000, mem.PermRW)
+		if _, _, err := u.TranslateCached(f, p.Base(), mem.PermRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tlb.Len() > 256 {
+		t.Fatalf("IOTLB grew to %d entries past its capacity", tlb.Len())
+	}
+	// Early entries were evicted; re-access misses and re-walks.
+	before := tlb.Misses
+	if _, cached, _ := u.TranslateCached(f, 0, mem.PermRead); cached {
+		t.Fatal("evicted entry served from cache")
+	}
+	if tlb.Misses != before+1 {
+		t.Fatal("miss not counted")
+	}
+}
+
+func TestIOTLBUnattachedDevice(t *testing.T) {
+	u := New("vtd0", true)
+	if _, _, err := u.TranslateCached(dev("rogue", 9), 0, mem.PermRead); err == nil {
+		t.Fatal("unattached DMA translated")
+	}
+}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vmx"
+)
+
+func TestDefaultConfigShape(t *testing.T) {
+	cfg := DefaultConfig("paper")
+	if cfg.CPUs != 20 {
+		t.Errorf("CPUs = %d, want the testbed's 20", cfg.CPUs)
+	}
+	if cfg.MemoryBytes != 192<<30 {
+		t.Errorf("memory = %d, want 192 GB", cfg.MemoryBytes)
+	}
+	if cfg.ClockHz != sim.DefaultClockHz {
+		t.Errorf("clock = %d", cfg.ClockHz)
+	}
+	if !cfg.Caps.Has(vmx.HardwareCaps) {
+		t.Error("default caps missing hardware features")
+	}
+}
+
+func TestNewMachine(t *testing.T) {
+	m, err := New(DefaultConfig("m0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CPUs) != 20 {
+		t.Fatalf("built %d CPUs", len(m.CPUs))
+	}
+	if m.CPU(3).LAPIC.ID() != 3 {
+		t.Error("LAPIC IDs not sequential")
+	}
+	if m.IOMMU == nil || !m.IOMMU.PostedCapable() {
+		t.Error("VT-d with posted interrupts expected")
+	}
+	if m.NIC == nil || m.NIC.LineRateBitsPerSec != 10_000_000_000 {
+		t.Error("10GbE NIC expected")
+	}
+	if m.SSD == nil || m.SSD.Backing.Size() != 480<<30 {
+		t.Error("480GB SSD expected")
+	}
+	if m.Engine == nil || m.Stats == nil {
+		t.Error("engine/stats missing")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Name: "bad", CPUs: 0}); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad config")
+		}
+	}()
+	MustNew(Config{Name: "bad", CPUs: -1})
+}
+
+func TestCPUOutOfRangePanics(t *testing.T) {
+	m := MustNew(Config{Name: "m", CPUs: 2, MemoryBytes: 1 << 30})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CPU(99) should panic")
+		}
+	}()
+	m.CPU(99)
+}
+
+func TestNoIOMMUWithoutCap(t *testing.T) {
+	m := MustNew(Config{
+		Name: "m", CPUs: 2, MemoryBytes: 1 << 30,
+		Caps: vmx.HardwareCaps.Without(vmx.CapIOMMU),
+	})
+	if m.IOMMU != nil {
+		t.Fatal("IOMMU built without the capability")
+	}
+}
+
+func TestCreateVFs(t *testing.T) {
+	m := MustNew(Config{Name: "m", CPUs: 2, MemoryBytes: 1 << 30, Caps: vmx.HardwareCaps, NICVFs: 4})
+	vfs, err := m.CreateVFs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vfs) != 4 {
+		t.Fatalf("created %d VFs", len(vfs))
+	}
+	if _, err := m.CreateVFs(1); err == nil {
+		t.Fatal("exceeding NICVFs should fail")
+	}
+}
+
+func TestWireCycles(t *testing.T) {
+	m := MustNew(Config{Name: "m", CPUs: 2, MemoryBytes: 1 << 30})
+	// A 1500-byte frame at 10 Gb/s is 1.2 µs = 2640 cycles at 2.2 GHz.
+	got := m.NIC.WireCycles(1500, m.ClockHz)
+	if got < 2500 || got > 2800 {
+		t.Fatalf("1500B wire time = %v cycles", got)
+	}
+	var idle NIC
+	if idle.WireCycles(1500, m.ClockHz) != 0 {
+		t.Fatal("zero-rate NIC should cost nothing")
+	}
+}

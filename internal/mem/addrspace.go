@@ -1,0 +1,203 @@
+// Package mem models guest-physical memory and the translation structures
+// the virtualization stack is built on: sparse byte-addressable address
+// spaces with dirty-page logging, bitmaps, and real 4-level page tables used
+// both as EPTs (CPU side) and as IOMMU translation tables (DMA side).
+//
+// Bytes really move: virtio rings, DMA buffers and migration all read and
+// write AddressSpace content, so a mapping bug shows up as corrupted data in
+// tests, not as a silently wrong cycle count.
+package mem
+
+import (
+	"fmt"
+)
+
+// Addr is a byte address within some (guest- or host-) physical address space.
+type Addr uint64
+
+// PFN is a page frame number: Addr >> PageShift.
+type PFN uint64
+
+const (
+	// PageShift and PageSize fix 4 KiB pages, the granularity of EPT
+	// mappings, dirty logging and migration transfer in the model.
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
+// PageOf returns the frame containing the address.
+func PageOf(a Addr) PFN { return PFN(a >> PageShift) }
+
+// Base returns the first address of the frame.
+func (p PFN) Base() Addr { return Addr(p) << PageShift }
+
+// AddressSpace is a sparse, byte-addressable physical address space backed by
+// on-demand 4 KiB pages. It serves as host physical memory for the machine
+// and as guest-physical memory for every VM level.
+type AddressSpace struct {
+	name    string
+	npages  PFN
+	pages   map[PFN]*[PageSize]byte
+	dirty   *Bitmap // non-nil while dirty logging is active
+	written *Bitmap // every page ever written; migration's first pass sends these
+}
+
+// NewAddressSpace creates an address space of the given byte size (rounded up
+// to whole pages). The name appears in errors and reports.
+func NewAddressSpace(name string, size uint64) *AddressSpace {
+	np := PFN((size + PageSize - 1) / PageSize)
+	return &AddressSpace{
+		name:    name,
+		npages:  np,
+		pages:   make(map[PFN]*[PageSize]byte),
+		written: NewBitmap(uint64(np)),
+	}
+}
+
+// Name returns the space's label.
+func (as *AddressSpace) Name() string { return as.name }
+
+// NumPages returns the number of page frames in the space.
+func (as *AddressSpace) NumPages() PFN { return as.npages }
+
+// Size returns the byte size of the space.
+func (as *AddressSpace) Size() uint64 { return uint64(as.npages) * PageSize }
+
+// Contains reports whether the address lies inside the space.
+func (as *AddressSpace) Contains(a Addr) bool { return PageOf(a) < as.npages }
+
+func (as *AddressSpace) page(p PFN, allocate bool) (*[PageSize]byte, error) {
+	if p >= as.npages {
+		return nil, fmt.Errorf("mem: %s: page %#x beyond end (%#x pages)", as.name, uint64(p), uint64(as.npages))
+	}
+	pg := as.pages[p]
+	if pg == nil && allocate {
+		pg = new([PageSize]byte)
+		as.pages[p] = pg
+	}
+	return pg, nil
+}
+
+// Read copies len(buf) bytes starting at a into buf. Unwritten memory reads
+// as zero. It fails if the range escapes the space.
+func (as *AddressSpace) Read(a Addr, buf []byte) error {
+	for len(buf) > 0 {
+		p := PageOf(a)
+		off := int(a & (PageSize - 1))
+		n := PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		pg, err := as.page(p, false)
+		if err != nil {
+			return err
+		}
+		if pg == nil {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], pg[off:off+n])
+		}
+		buf = buf[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// Write copies buf into the space starting at a, marking touched pages
+// written and, if dirty logging is active, dirty.
+func (as *AddressSpace) Write(a Addr, buf []byte) error {
+	for len(buf) > 0 {
+		p := PageOf(a)
+		off := int(a & (PageSize - 1))
+		n := PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		pg, err := as.page(p, true)
+		if err != nil {
+			return err
+		}
+		copy(pg[off:off+n], buf[:n])
+		as.written.Set(uint64(p))
+		if as.dirty != nil {
+			as.dirty.Set(uint64(p))
+		}
+		buf = buf[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit value, the unit virtio descriptors and
+// the VCIMT use.
+func (as *AddressSpace) ReadU64(a Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (as *AddressSpace) WriteU64(a Addr, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return as.Write(a, b[:])
+}
+
+// MarkPageDirty records a page as written without moving bytes — used by
+// cost-model paths that account a DMA without materializing payloads.
+func (as *AddressSpace) MarkPageDirty(p PFN) error {
+	if p >= as.npages {
+		return fmt.Errorf("mem: %s: page %#x beyond end", as.name, uint64(p))
+	}
+	as.written.Set(uint64(p))
+	if as.dirty != nil {
+		as.dirty.Set(uint64(p))
+	}
+	return nil
+}
+
+// StartDirtyLog begins tracking written pages, as a hypervisor does at the
+// start of live migration. Restarting clears the log.
+func (as *AddressSpace) StartDirtyLog() {
+	as.dirty = NewBitmap(uint64(as.npages))
+}
+
+// DirtyLogActive reports whether logging is on.
+func (as *AddressSpace) DirtyLogActive() bool { return as.dirty != nil }
+
+// CollectDirty returns the dirtied frames since the last collection and
+// clears the log, the per-round step of pre-copy migration. It returns nil
+// when logging is inactive.
+func (as *AddressSpace) CollectDirty() []PFN {
+	if as.dirty == nil {
+		return nil
+	}
+	var out []PFN
+	as.dirty.ForEach(func(i uint64) { out = append(out, PFN(i)) })
+	as.dirty = NewBitmap(uint64(as.npages))
+	return out
+}
+
+// StopDirtyLog ends tracking.
+func (as *AddressSpace) StopDirtyLog() { as.dirty = nil }
+
+// WrittenPages returns every frame ever written, the working set migration's
+// first pass must ship.
+func (as *AddressSpace) WrittenPages() []PFN {
+	var out []PFN
+	as.written.ForEach(func(i uint64) { out = append(out, PFN(i)) })
+	return out
+}
+
+// ResidentPages returns the number of frames with backing storage allocated.
+func (as *AddressSpace) ResidentPages() int { return len(as.pages) }

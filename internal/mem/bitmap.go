@@ -1,0 +1,76 @@
+package mem
+
+import "math/bits"
+
+// Bitmap is a fixed-size bit set used for dirty-page logs and allocation
+// maps. The zero value is unusable; construct with NewBitmap.
+type Bitmap struct {
+	n     uint64
+	words []uint64
+}
+
+// NewBitmap returns a bitmap holding n bits, all clear.
+func NewBitmap(n uint64) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the bitmap's capacity in bits.
+func (b *Bitmap) Len() uint64 { return b.n }
+
+// Set marks bit i. Out-of-range indexes are ignored so callers logging
+// against a resized space fail soft.
+func (b *Bitmap) Set(i uint64) {
+	if i < b.n {
+		b.words[i/64] |= 1 << (i % 64)
+	}
+}
+
+// Clear unmarks bit i.
+func (b *Bitmap) Clear(i uint64) {
+	if i < b.n {
+		b.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i uint64) bool {
+	return i < b.n && b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit, in ascending order.
+func (b *Bitmap) ForEach(fn func(i uint64)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(uint64(wi)*64 + uint64(bit))
+			w &^= 1 << bit
+		}
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Or merges other into b (bit-wise union over the common prefix).
+func (b *Bitmap) Or(other *Bitmap) {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] |= other.words[i]
+	}
+}

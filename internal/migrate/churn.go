@@ -1,0 +1,96 @@
+package migrate
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hyper"
+	"repro/internal/mem"
+)
+
+// churner generates the workload's memory traffic during migration: CPU
+// writes through guest memory (visible to every dirty log) and device DMA
+// writes through the VP devices' DMA views (visible only host-side). Writes
+// are real, so a page the migration misses ends up content-divergent at the
+// destination.
+type churner struct {
+	vm    *hyper.VM
+	vp    []*core.VPState
+	churn Churn
+
+	cpuCursor mem.PFN
+	dmaCursor mem.PFN
+	// dmaTouched tracks pages dirtied by DMA after their last CPU write, the
+	// candidates for silent loss without the migration capability.
+	dmaTouched map[mem.PFN]bool
+	serial     uint64
+}
+
+func newChurner(vm *hyper.VM, vp []*core.VPState, c Churn) *churner {
+	if c.WorkingSetPages <= 0 {
+		c.WorkingSetPages = 1024
+	}
+	if c.WorkingSetPages > int(vm.NumPages) {
+		c.WorkingSetPages = int(vm.NumPages)
+	}
+	return &churner{vm: vm, vp: vp, churn: c, dmaTouched: make(map[mem.PFN]bool)}
+}
+
+// touchWorkingSet writes identifiable content to every working-set page so
+// the first migration pass ships real data.
+func (c *churner) touchWorkingSet() error {
+	gm := c.vm.Memory()
+	for i := 0; i < c.churn.WorkingSetPages; i++ {
+		c.serial++
+		if err := gm.WriteU64(mem.PFN(i).Base(), c.serial); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run advances the workload for the given wall-time span, performing the
+// corresponding number of CPU and DMA page writes.
+func (c *churner) run(d time.Duration) error {
+	cpuWrites := int(c.churn.CPUPagesPerSec * d.Seconds())
+	dmaWrites := int(c.churn.DMAPagesPerSec * d.Seconds())
+	ws := mem.PFN(c.churn.WorkingSetPages)
+	gm := c.vm.Memory()
+	for i := 0; i < cpuWrites; i++ {
+		pg := c.cpuCursor % ws
+		c.cpuCursor++
+		c.serial++
+		if err := gm.WriteU64(pg.Base(), c.serial); err != nil {
+			return err
+		}
+		delete(c.dmaTouched, pg)
+	}
+	if len(c.vp) > 0 {
+		for i := 0; i < dmaWrites; i++ {
+			// Spread DMA over the upper half of the working set, offset from
+			// the CPU cursor so the two streams overlap only partially.
+			pg := (c.dmaCursor + ws/2) % ws
+			c.dmaCursor++
+			c.serial++
+			var buf [8]byte
+			for k := 0; k < 8; k++ {
+				buf[k] = byte(c.serial >> (8 * k))
+			}
+			if err := c.vp[0].Dev.DMAView.Write(pg.Base(), buf[:]); err != nil {
+				return err
+			}
+			c.dmaTouched[pg] = true
+		}
+	}
+	return nil
+}
+
+// missedDMA reports how many DMA-dirtied pages the migration could have
+// missed: zero when the capability exported them, the accumulated count
+// otherwise. (VerifyDest gives ground truth; this is the accounting view.)
+func (c *churner) missedDMA(usedCap bool) int {
+	if usedCap {
+		return 0
+	}
+	return len(c.dmaTouched)
+}

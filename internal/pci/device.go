@@ -1,0 +1,179 @@
+package pci
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Address is a PCI bus/device/function address.
+type Address struct {
+	Bus, Device, Function uint8
+}
+
+func (a Address) String() string {
+	return fmt.Sprintf("%02x:%02x.%d", a.Bus, a.Device, a.Function)
+}
+
+// Function is one PCI function: a configuration space plus the identity and
+// ownership bookkeeping the simulator's passthrough machinery needs. Device
+// behavior (rings, registers) lives with the device model that embeds it.
+type Function struct {
+	Name   string
+	Addr   Address
+	Config *ConfigSpace
+	// IsVirtual marks host-hypervisor-provided virtual devices — the ones
+	// virtual-passthrough assigns — as opposed to physical hardware.
+	IsVirtual bool
+	// VFParent points at the physical function for SR-IOV virtual functions.
+	VFParent *Function
+
+	boundDriver string
+}
+
+// NewFunction builds a PCI function with the given identity.
+func NewFunction(name string, addr Address, vendor, device uint16, class uint32) *Function {
+	return &Function{
+		Name:   name,
+		Addr:   addr,
+		Config: NewConfigSpace(vendor, device, class),
+	}
+}
+
+// Bind attaches a named driver (e.g. "virtio-net", "vfio-pci"). Passthrough
+// assignment requires unbinding the owner's driver first, exactly the dance
+// the paper describes for guest hypervisors.
+func (f *Function) Bind(driver string) error {
+	if f.boundDriver != "" && f.boundDriver != driver {
+		return fmt.Errorf("pci: %s already bound to %s", f.Name, f.boundDriver)
+	}
+	f.boundDriver = driver
+	return nil
+}
+
+// Unbind detaches whatever driver holds the function.
+func (f *Function) Unbind() { f.boundDriver = "" }
+
+// Driver returns the bound driver name ("" when unbound).
+func (f *Function) Driver() string { return f.boundDriver }
+
+// Bus is a collection of PCI functions, addressable by Address, with the
+// enumeration interface hypervisors and guests use to discover devices.
+type Bus struct {
+	funcs map[Address]*Function
+	next  uint8 // next device number for AutoAdd
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{funcs: make(map[Address]*Function)}
+}
+
+// Add places a function on the bus. Duplicate addresses are rejected.
+func (b *Bus) Add(f *Function) error {
+	if _, ok := b.funcs[f.Addr]; ok {
+		return fmt.Errorf("pci: address %s already populated", f.Addr)
+	}
+	b.funcs[f.Addr] = f
+	return nil
+}
+
+// AutoAdd places a function at the next free device slot on bus 0 and
+// returns the assigned address.
+func (b *Bus) AutoAdd(f *Function) Address {
+	for {
+		addr := Address{Bus: 0, Device: b.next, Function: 0}
+		b.next++
+		if _, ok := b.funcs[addr]; !ok {
+			f.Addr = addr
+			b.funcs[addr] = f
+			return addr
+		}
+	}
+}
+
+// Remove takes a function off the bus (hot-unplug; also used when a device is
+// unassigned during migration).
+func (b *Bus) Remove(addr Address) bool {
+	if _, ok := b.funcs[addr]; !ok {
+		return false
+	}
+	delete(b.funcs, addr)
+	return true
+}
+
+// Lookup finds the function at an address.
+func (b *Bus) Lookup(addr Address) (*Function, bool) {
+	f, ok := b.funcs[addr]
+	return f, ok
+}
+
+// Scan returns every function in address order, as an enumerating OS would
+// see them.
+func (b *Bus) Scan() []*Function {
+	out := make([]*Function, 0, len(b.funcs))
+	for _, f := range b.funcs {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Addr, out[j].Addr
+		if ai.Bus != aj.Bus {
+			return ai.Bus < aj.Bus
+		}
+		if ai.Device != aj.Device {
+			return ai.Device < aj.Device
+		}
+		return ai.Function < aj.Function
+	})
+	return out
+}
+
+// FindByName returns the first function with the given name.
+func (b *Bus) FindByName(name string) (*Function, bool) {
+	for _, f := range b.Scan() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// SR-IOV capability register offsets (relative to the capability header).
+const (
+	sriovOffTotalVFs = 2
+	sriovOffNumVFs   = 4
+)
+
+// EnableSRIOV adds the SR-IOV capability to a physical function, advertising
+// totalVFs virtual functions.
+func EnableSRIOV(pf *Function, totalVFs uint16) {
+	off := pf.Config.AddCapability(CapSRIOV, 8)
+	pf.Config.WriteU16(off+sriovOffTotalVFs, totalVFs)
+}
+
+// CreateVFs instantiates n SR-IOV virtual functions of pf on the bus,
+// returning them. It fails if the PF lacks the capability or n exceeds
+// TotalVFs.
+func CreateVFs(b *Bus, pf *Function, n int) ([]*Function, error) {
+	off, ok := pf.Config.FindCapability(CapSRIOV)
+	if !ok {
+		return nil, fmt.Errorf("pci: %s has no SR-IOV capability", pf.Name)
+	}
+	total := int(pf.Config.ReadU16(off + sriovOffTotalVFs))
+	cur := int(pf.Config.ReadU16(off + sriovOffNumVFs))
+	if cur+n > total {
+		return nil, fmt.Errorf("pci: %s supports %d VFs, %d requested with %d existing", pf.Name, total, n, cur)
+	}
+	var vfs []*Function
+	for i := 0; i < n; i++ {
+		vf := NewFunction(
+			fmt.Sprintf("%s-vf%d", pf.Name, cur+i),
+			Address{}, // assigned by AutoAdd
+			pf.Config.VendorID(), pf.Config.DeviceID()+1, uint32(pf.Config.ReadU32(offClassCode))&0xffffff,
+		)
+		vf.VFParent = pf
+		b.AutoAdd(vf)
+		vfs = append(vfs, vf)
+	}
+	pf.Config.WriteU16(off+sriovOffNumVFs, uint16(cur+n))
+	return vfs, nil
+}

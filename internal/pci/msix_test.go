@@ -1,0 +1,91 @@
+package pci
+
+import "testing"
+
+func msixFn() *Function {
+	return NewFunction("virtio-net", Address{0, 5, 0}, 0x1af4, 0x1000, 0x020000)
+}
+
+func TestMSIXDiscovery(t *testing.T) {
+	fn := msixFn()
+	if _, ok := FindMSIXSize(fn); ok {
+		t.Fatal("MSI-X discovered before install")
+	}
+	tbl := AddMSIX(fn, 3)
+	if tbl.Size() != 3 {
+		t.Fatalf("Size = %d", tbl.Size())
+	}
+	n, ok := FindMSIXSize(fn)
+	if !ok || n != 3 {
+		t.Fatalf("FindMSIXSize = %d, %v", n, ok)
+	}
+	if _, ok := fn.Config.FindCapability(CapMSIX); !ok {
+		t.Fatal("capability not in chain")
+	}
+}
+
+func TestMSIXProgramAndDeliver(t *testing.T) {
+	tbl := AddMSIX(msixFn(), 2)
+	if err := tbl.SetEntry(0, 0xfee00000, 41); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled function latches pending instead of delivering.
+	_, _, ok, err := tbl.Deliver(0)
+	if err != nil || ok {
+		t.Fatalf("delivery while disabled = %v, %v", ok, err)
+	}
+	tbl.SetEnabled(true)
+	addr, data, ok, err := tbl.Deliver(0)
+	if err != nil || !ok {
+		t.Fatalf("delivery = %v, %v", ok, err)
+	}
+	if addr != 0xfee00000 || data != 41 {
+		t.Fatalf("message = %#x/%d", addr, data)
+	}
+}
+
+func TestMSIXMaskPending(t *testing.T) {
+	tbl := AddMSIX(msixFn(), 1)
+	tbl.SetEnabled(true)
+	tbl.SetEntry(0, 1, 2)
+	if _, err := tbl.Mask(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := tbl.Deliver(0); ok {
+		t.Fatal("masked vector delivered")
+	}
+	fire, err := tbl.Mask(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fire {
+		t.Fatal("unmask did not surface the pending delivery")
+	}
+	// Pending is consumed by the unmask.
+	if fire, _ := tbl.Mask(0, false); fire {
+		t.Fatal("pending bit not cleared")
+	}
+	e, _ := tbl.Entry(0)
+	if e.Pending {
+		t.Fatal("entry still pending")
+	}
+}
+
+func TestMSIXBounds(t *testing.T) {
+	tbl := AddMSIX(msixFn(), 2)
+	if err := tbl.SetEntry(2, 0, 0); err == nil {
+		t.Fatal("out-of-range SetEntry accepted")
+	}
+	if _, err := tbl.Entry(-1); err == nil {
+		t.Fatal("negative Entry accepted")
+	}
+	if _, _, _, err := tbl.Deliver(99); err == nil {
+		t.Fatal("out-of-range Deliver accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("absurd table size should panic")
+		}
+	}()
+	AddMSIX(msixFn(), 0)
+}

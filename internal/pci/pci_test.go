@@ -1,0 +1,272 @@
+package pci
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigSpaceIdentity(t *testing.T) {
+	c := NewConfigSpace(0x1af4, 0x1000, 0x020000) // virtio-net identity
+	if c.VendorID() != 0x1af4 {
+		t.Fatalf("vendor = %#x", c.VendorID())
+	}
+	if c.DeviceID() != 0x1000 {
+		t.Fatalf("device = %#x", c.DeviceID())
+	}
+}
+
+func TestConfigSpaceRegisterWidths(t *testing.T) {
+	c := NewConfigSpace(1, 2, 3)
+	c.WriteU32(0x40, 0x11223344)
+	if c.ReadU16(0x40) != 0x3344 || c.ReadU16(0x42) != 0x1122 {
+		t.Fatal("little-endian layout broken")
+	}
+	if c.ReadU8(0x43) != 0x11 {
+		t.Fatal("byte access broken")
+	}
+}
+
+func TestCommandRegister(t *testing.T) {
+	c := NewConfigSpace(1, 2, 3)
+	c.SetCommand(CmdBusMaster | CmdMemSpace)
+	if c.Command()&CmdBusMaster == 0 {
+		t.Fatal("bus master not set")
+	}
+	c.ClearCommand(CmdBusMaster)
+	if c.Command()&CmdBusMaster != 0 {
+		t.Fatal("bus master not cleared")
+	}
+	if c.Command()&CmdMemSpace == 0 {
+		t.Fatal("clear removed unrelated bit")
+	}
+}
+
+func TestBARs(t *testing.T) {
+	c := NewConfigSpace(1, 2, 3)
+	c.SetBAR(0, 0xfe000000)
+	c.SetBAR(5, 0xfd000000)
+	if c.BAR(0) != 0xfe000000 || c.BAR(5) != 0xfd000000 {
+		t.Fatal("BAR round trip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range BAR should panic")
+		}
+	}()
+	c.SetBAR(6, 0)
+}
+
+func TestCapabilityChain(t *testing.T) {
+	c := NewConfigSpace(1, 2, 3)
+	if _, ok := c.FindCapability(CapMSI); ok {
+		t.Fatal("empty chain found a capability")
+	}
+	if c.Capabilities() != nil {
+		t.Fatal("empty chain should list nothing")
+	}
+	c.AddCapability(CapMSI, 12)
+	c.AddCapability(CapPCIe, 20)
+	c.AddCapability(CapMigration, 12)
+	caps := c.Capabilities()
+	if len(caps) != 3 || caps[0] != CapMSI || caps[1] != CapPCIe || caps[2] != CapMigration {
+		t.Fatalf("chain = %v", caps)
+	}
+	off, ok := c.FindCapability(CapMigration)
+	if !ok || off == 0 {
+		t.Fatal("migration capability not found")
+	}
+	if _, ok := c.FindCapability(CapMSIX); ok {
+		t.Fatal("found a capability never added")
+	}
+}
+
+func TestCapabilityChainManyProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		c := NewConfigSpace(1, 2, 3)
+		n := len(ids)
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			c.AddCapability(CapID(ids[i]%0x30+1), 2)
+		}
+		return len(c.Capabilities()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionBinding(t *testing.T) {
+	f := NewFunction("virtio-net", Address{0, 3, 0}, 0x1af4, 0x1000, 0x020000)
+	if err := f.Bind("virtio-net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Bind("virtio-net"); err != nil {
+		t.Fatal("rebinding same driver should be idempotent")
+	}
+	if err := f.Bind("vfio-pci"); err == nil {
+		t.Fatal("binding a second driver should fail")
+	}
+	f.Unbind()
+	if err := f.Bind("vfio-pci"); err != nil {
+		t.Fatalf("bind after unbind failed: %v", err)
+	}
+	if f.Driver() != "vfio-pci" {
+		t.Fatalf("driver = %q", f.Driver())
+	}
+}
+
+func TestBusAddLookupScan(t *testing.T) {
+	b := NewBus()
+	f1 := NewFunction("nic", Address{0, 3, 0}, 1, 2, 3)
+	f2 := NewFunction("ssd", Address{0, 1, 0}, 1, 3, 3)
+	if err := b.Add(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(f2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(NewFunction("dup", Address{0, 3, 0}, 1, 2, 3)); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	got, ok := b.Lookup(Address{0, 1, 0})
+	if !ok || got != f2 {
+		t.Fatal("lookup failed")
+	}
+	scan := b.Scan()
+	if len(scan) != 2 || scan[0] != f2 || scan[1] != f1 {
+		t.Fatal("scan not in address order")
+	}
+	if _, ok := b.FindByName("nic"); !ok {
+		t.Fatal("FindByName failed")
+	}
+	if !b.Remove(Address{0, 3, 0}) || b.Remove(Address{0, 3, 0}) {
+		t.Fatal("remove semantics wrong")
+	}
+}
+
+func TestBusAutoAdd(t *testing.T) {
+	b := NewBus()
+	var addrs []Address
+	for i := 0; i < 5; i++ {
+		f := NewFunction("dev", Address{}, 1, 2, 3)
+		addrs = append(addrs, b.AutoAdd(f))
+	}
+	seen := map[Address]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("AutoAdd reused address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestSRIOV(t *testing.T) {
+	b := NewBus()
+	pf := NewFunction("x520", Address{0, 3, 0}, 0x8086, 0x10fb, 0x020000)
+	b.Add(pf)
+	if _, err := CreateVFs(b, pf, 2); err == nil {
+		t.Fatal("VF creation without capability should fail")
+	}
+	EnableSRIOV(pf, 4)
+	vfs, err := CreateVFs(b, pf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vfs) != 3 {
+		t.Fatalf("created %d VFs", len(vfs))
+	}
+	for _, vf := range vfs {
+		if vf.VFParent != pf {
+			t.Fatal("VF parent not set")
+		}
+		if _, ok := b.Lookup(vf.Addr); !ok {
+			t.Fatal("VF not on bus")
+		}
+	}
+	if _, err := CreateVFs(b, pf, 2); err == nil {
+		t.Fatal("exceeding TotalVFs should fail")
+	}
+	if _, err := CreateVFs(b, pf, 1); err != nil {
+		t.Fatalf("filling to TotalVFs should succeed: %v", err)
+	}
+}
+
+type fakeOps struct {
+	logging  bool
+	captures int
+}
+
+func (f *fakeOps) CaptureState() []byte {
+	f.captures++
+	return []byte("device-state-blob")
+}
+func (f *fakeOps) SetDirtyLogging(e bool) { f.logging = e }
+
+func TestMigrationCapability(t *testing.T) {
+	fn := NewFunction("virtio-net", Address{0, 4, 0}, 0x1af4, 0x1000, 0x020000)
+	ops := &fakeOps{}
+	if FindMigrationCap(fn) {
+		t.Fatal("capability present before install")
+	}
+	cap := AddMigrationCap(fn, ops)
+	if !FindMigrationCap(fn) {
+		t.Fatal("capability not discoverable")
+	}
+	// Guest hypervisor enables dirty logging.
+	if err := cap.GuestWriteCtrl(MigCtrlDirtyLog); err != nil {
+		t.Fatal(err)
+	}
+	if !ops.logging {
+		t.Fatal("host dirty logging not enabled")
+	}
+	if cap.GuestReadStatus()&MigStatusLogging == 0 {
+		t.Fatal("status does not show logging")
+	}
+	// Guest hypervisor requests a state capture.
+	if err := cap.GuestWriteCtrl(MigCtrlDirtyLog | MigCtrlCapture); err != nil {
+		t.Fatal(err)
+	}
+	if ops.captures != 1 {
+		t.Fatalf("captures = %d", ops.captures)
+	}
+	if string(cap.CapturedState()) != "device-state-blob" {
+		t.Fatal("captured state wrong")
+	}
+	if cap.GuestReadStatus()&MigStatusCaptured == 0 {
+		t.Fatal("status does not show capture")
+	}
+	// The capture bit self-clears in CTRL.
+	off, _ := fn.Config.FindCapability(CapMigration)
+	if fn.Config.ReadU16(off+migOffCtrl)&MigCtrlCapture != 0 {
+		t.Fatal("capture bit did not self-clear")
+	}
+	// Disabling logging propagates.
+	if err := cap.GuestWriteCtrl(0); err != nil {
+		t.Fatal(err)
+	}
+	if ops.logging {
+		t.Fatal("host dirty logging not disabled")
+	}
+	// Restore on the destination.
+	var restored []byte
+	err := cap.RestoreState(cap.CapturedState(), func(b []byte) error {
+		restored = b
+		return nil
+	})
+	if err != nil || string(restored) != "device-state-blob" {
+		t.Fatalf("restore failed: %v %q", err, restored)
+	}
+}
+
+func TestMigrationCapNoOps(t *testing.T) {
+	fn := NewFunction("dev", Address{}, 1, 2, 3)
+	cap := AddMigrationCap(fn, nil)
+	if err := cap.GuestWriteCtrl(MigCtrlDirtyLog); err == nil {
+		t.Fatal("ctrl write without host ops should fail")
+	}
+	if err := cap.RestoreState(nil, nil); err == nil {
+		t.Fatal("restore without hook should fail")
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a point on the simulated timeline.
+// The engine invokes it with the engine itself so handlers can schedule
+// follow-on events.
+type Event func(e *Engine)
+
+// EventID identifies a scheduled event so it can be cancelled. The zero value
+// never identifies a live event.
+type EventID uint64
+
+type scheduled struct {
+	when  Time
+	seq   uint64 // FIFO tiebreak for simultaneous events
+	id    EventID
+	fn    Event
+	index int // heap index; -1 when removed
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*h = old[:n-1]
+	return s
+}
+
+// Engine is a deterministic discrete-event simulation kernel. Events fire in
+// timestamp order; events with equal timestamps fire in the order they were
+// scheduled. The engine is single-threaded by design: determinism matters more
+// to the experiments than host parallelism, and the paper's phenomena (exit
+// multiplication, interrupt latency) are properties of the simulated timeline,
+// not of host concurrency.
+type Engine struct {
+	clock   Clock
+	queue   eventHeap
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*scheduled
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[EventID]*scheduled)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.clock.Now() }
+
+// Schedule arranges for fn to run after delay cycles and returns an ID that
+// can be passed to Cancel.
+func (e *Engine) Schedule(delay Cycles, fn Event) EventID {
+	return e.ScheduleAt(e.clock.Now()+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time t. Scheduling in the past
+// is a programming error and panics.
+func (e *Engine) ScheduleAt(t Time, fn Event) EventID {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil event")
+	}
+	if t < e.clock.Now() {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %d < %d", t, e.clock.Now()))
+	}
+	e.nextSeq++
+	e.nextID++
+	s := &scheduled{when: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.queue, s)
+	e.live[s.id] = s
+	return s.id
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending; cancelling an already-fired or already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) bool {
+	s, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	delete(e.live, id)
+	if s.index >= 0 {
+		heap.Remove(&e.queue, s.index)
+	}
+	return true
+}
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the currently executing Run/RunUntil call return after the
+// in-flight event handler finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) step(limit Time, bounded bool) bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := e.queue[0]
+	if bounded && next.when > limit {
+		return false
+	}
+	heap.Pop(&e.queue)
+	delete(e.live, next.id)
+	e.clock.AdvanceTo(next.when)
+	next.fn(e)
+	return true
+}
+
+// Run drains the event queue, firing every event in order, and returns the
+// final simulated time. Use RunUntil for workloads that schedule events
+// indefinitely.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.step(0, false) {
+	}
+	return e.clock.Now()
+}
+
+// RunUntil fires events until the queue is empty or the next event lies after
+// t, then advances the clock to exactly t. It returns the number of events
+// fired.
+func (e *Engine) RunUntil(t Time) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.step(t, true) {
+		n++
+	}
+	if t > e.clock.Now() {
+		e.clock.AdvanceTo(t)
+	}
+	return n
+}

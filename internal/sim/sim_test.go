@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %d, want 0", c.Now())
+	}
+	if got := c.Advance(100); got != 100 {
+		t.Fatalf("Advance returned %d, want 100", got)
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("clock at %d, want 250", c.Now())
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo backwards did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(10)
+	c.AdvanceTo(5)
+}
+
+func TestCyclesString(t *testing.T) {
+	cases := map[Cycles]string{
+		0:         "0",
+		999:       "999",
+		1000:      "1,000",
+		37733:     "37,733",
+		857578:    "857,578",
+		1_000_000: "1,000,000",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Cycles(%d).String() = %q, want %q", uint64(in), got, want)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	// One second at the default clock is exactly DefaultClockHz cycles.
+	c := FromDuration(time.Second, 0)
+	if c != DefaultClockHz {
+		t.Fatalf("FromDuration(1s) = %d, want %d", c, uint64(DefaultClockHz))
+	}
+	if d := c.Duration(0); d != time.Second {
+		t.Fatalf("Duration = %v, want 1s", d)
+	}
+	// 1,575 cycles at 2.2 GHz is ~716 ns.
+	d := Cycles(1575).Duration(0)
+	if d < 700*time.Nanosecond || d > 720*time.Nanosecond {
+		t.Fatalf("1575 cycles = %v, want ~716ns", d)
+	}
+}
+
+func TestDurationRoundTripProperty(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := time.Duration(ms) * time.Millisecond
+		c := FromDuration(d, DefaultClockHz)
+		back := c.Duration(DefaultClockHz)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func(*Engine) { order = append(order, 3) })
+	e.Schedule(10, func(*Engine) { order = append(order, 1) })
+	e.Schedule(20, func(*Engine) { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order %v, want [1 2 3]", order)
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick Event
+	tick = func(en *Engine) {
+		count++
+		if count < 5 {
+			en.Schedule(100, tick)
+		}
+	}
+	e.Schedule(100, tick)
+	end := e.Run()
+	if count != 5 {
+		t.Fatalf("fired %d ticks, want 5", count)
+	}
+	if end != 500 {
+		t.Fatalf("final time %d, want 500", end)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel of pending event returned false")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 8; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Cycles(10+i), func(*Engine) { fired = append(fired, i) }))
+	}
+	e.Cancel(ids[3])
+	e.Cancel(ids[5])
+	e.Run()
+	want := []int{0, 1, 2, 4, 6, 7}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick Event
+	tick = func(en *Engine) {
+		count++
+		en.Schedule(100, tick)
+	}
+	e.Schedule(100, tick)
+	n := e.RunUntil(1000)
+	if n != 10 {
+		t.Fatalf("fired %d events, want 10", n)
+	}
+	if e.Now() != 1000 {
+		t.Fatalf("clock at %d, want exactly 1000", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d pending events, want 1", e.Pending())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycles(i+1), func(en *Engine) {
+			count++
+			if count == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func(*Engine) {})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnProperty(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBernoulliExtremes(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	const mean = 10000
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if got < 0.95*mean || got > 1.05*mean {
+		t.Fatalf("Exp mean = %.0f, want ~%d", got, mean)
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vmx"
+)
+
+func TestRecordAndTotals(t *testing.T) {
+	var s Stats
+	s.RecordHardwareExit(vmx.ExitHLT)
+	s.RecordHardwareExit(vmx.ExitHLT)
+	s.RecordHardwareExit(vmx.ExitVMCALL)
+	if got := s.TotalHardwareExits(); got != 3 {
+		t.Fatalf("TotalHardwareExits = %d, want 3", got)
+	}
+	s.RecordHandledExit(vmx.ExitVMCALL, 1)
+	s.RecordHandledExit(vmx.ExitHLT, 0)
+	if got := s.TotalHandledAt(1); got != 1 {
+		t.Fatalf("TotalHandledAt(1) = %d, want 1", got)
+	}
+	if got := s.GuestHypervisorExits(); got != 1 {
+		t.Fatalf("GuestHypervisorExits = %d, want 1", got)
+	}
+}
+
+func TestLevelClamping(t *testing.T) {
+	var s Stats
+	s.RecordHandledExit(vmx.ExitHLT, -3)
+	s.RecordHandledExit(vmx.ExitHLT, MaxLevels+10)
+	if s.HandledExits[vmx.ExitHLT.Index()][0] != 1 {
+		t.Fatal("negative level not clamped to 0")
+	}
+	if s.HandledExits[vmx.ExitHLT.Index()][MaxLevels-1] != 1 {
+		t.Fatal("overflow level not clamped")
+	}
+	s.ChargeLevel(-1, 10)
+	s.ChargeLevel(MaxLevels, 20)
+	if s.LevelCycles[0] != 10 || s.LevelCycles[MaxLevels-1] != 20 {
+		t.Fatal("cycle charge clamping failed")
+	}
+}
+
+func TestCycleAttribution(t *testing.T) {
+	var s Stats
+	s.ChargeLevel(0, 1000)
+	s.ChargeLevel(1, 500)
+	s.ChargeGuest(250)
+	if s.TotalCycles() != 1750 {
+		t.Fatalf("TotalCycles = %d, want 1750", s.TotalCycles())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var s Stats
+	if s.Counter("kicks") != 0 {
+		t.Fatal("untouched counter should read zero")
+	}
+	s.Inc("kicks", 2)
+	s.Inc("dirty_pages", 7)
+	s.Inc("kicks", 1)
+	if s.Counter("kicks") != 3 || s.Counter("dirty_pages") != 7 {
+		t.Fatal("counter arithmetic wrong")
+	}
+	names := s.CounterNames()
+	if len(names) != 2 || names[0] != "dirty_pages" || names[1] != "kicks" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Stats
+	a.RecordHardwareExit(vmx.ExitHLT)
+	a.Inc("x", 1)
+	a.ChargeGuest(10)
+	b.RecordHardwareExit(vmx.ExitHLT)
+	b.RecordHandledExit(vmx.ExitVMCALL, 2)
+	b.Inc("x", 4)
+	b.ChargeLevel(2, 30)
+	a.Merge(&b)
+	if a.TotalHardwareExits() != 2 {
+		t.Fatal("hardware exits did not merge")
+	}
+	if a.TotalHandledAt(2) != 1 {
+		t.Fatal("handled exits did not merge")
+	}
+	if a.Counter("x") != 5 {
+		t.Fatal("counters did not merge")
+	}
+	if a.TotalCycles() != 40 {
+		t.Fatalf("TotalCycles after merge = %d, want 40", a.TotalCycles())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Stats
+	s.RecordHardwareExit(vmx.ExitHLT)
+	s.Inc("x", 1)
+	s.ChargeGuest(5)
+	s.Reset()
+	if s.TotalHardwareExits() != 0 || s.Counter("x") != 0 || s.TotalCycles() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	var s Stats
+	s.RecordHardwareExit(vmx.ExitVMCALL)
+	s.RecordHandledExit(vmx.ExitVMCALL, 1)
+	s.ChargeLevel(0, 1500)
+	s.Inc("virtio.kicks", 3)
+	out := s.String()
+	for _, want := range []string{"VMCALL", "L1=1", "virtio.kicks=3", "hardware exits: 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergePreservesTotalsProperty(t *testing.T) {
+	f := func(n1, n2 uint8) bool {
+		var a, b Stats
+		for i := uint8(0); i < n1; i++ {
+			a.RecordHardwareExit(vmx.ExitHLT)
+		}
+		for i := uint8(0); i < n2; i++ {
+			b.RecordHardwareExit(vmx.ExitEPTViolation)
+		}
+		a.Merge(&b)
+		return a.TotalHardwareExits() == uint64(n1)+uint64(n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

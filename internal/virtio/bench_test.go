@@ -1,0 +1,66 @@
+package virtio
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func benchQueue(b *testing.B, size uint16) (*mem.AddressSpace, *DriverQueue, *Queue) {
+	b.Helper()
+	space := mem.NewAddressSpace("bench", 1<<24)
+	dq, err := NewDriverQueue(space, 0x10000, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	desc, avail, used := dq.Rings()
+	return space, dq, NewQueue(space, size, desc, avail, used)
+}
+
+func BenchmarkQueueSubmitPopPush(b *testing.B) {
+	space, dq, q := benchQueue(b, 256)
+	space.Write(0x40000, []byte("frame"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dq.Submit([]Descriptor{{Addr: 0x40000, Len: 5}}); err != nil {
+			b.Fatal(err)
+		}
+		c, err := q.Pop()
+		if err != nil || c == nil {
+			b.Fatal(err)
+		}
+		if err := q.Push(c, 5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dq.Reap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetTransmit(b *testing.B) {
+	space := mem.NewAddressSpace("bench", 1<<24)
+	nd := NewNetDevice("bench-net", 0xfe000000)
+	dq, err := NewDriverQueue(space, 0x10000, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	desc, avail, used := dq.Rings()
+	nd.AttachQueue(NetTXQueue, NewQueue(space, 256, desc, avail, used))
+	frame := make([]byte, 1500)
+	space.Write(0x40000, frame)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dq.Submit([]Descriptor{{Addr: 0x40000, Len: 1500}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nd.Transmit(space); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dq.Reap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

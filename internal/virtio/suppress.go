@@ -1,0 +1,72 @@
+package virtio
+
+import "repro/internal/mem"
+
+// Event suppression, per the virtio split-ring specification: the device
+// sets VIRTQ_USED_F_NO_NOTIFY in the used ring's flags to tell the driver
+// not to kick while the device is already processing (how vhost amortizes
+// doorbells under load — the reason bulk workloads see fractional kicks per
+// transaction), and the driver sets VIRTQ_AVAIL_F_NO_INTERRUPT in the avail
+// ring's flags to suppress completion interrupts while it polls.
+//
+// The flags live in ring memory and travel through the same DMA views as
+// descriptors, so suppression works across virtual-passthrough translation
+// chains too.
+const (
+	// UsedFNoNotify is the device→driver doorbell-suppression flag.
+	UsedFNoNotify uint16 = 1 << 0
+	// AvailFNoInterrupt is the driver→device interrupt-suppression flag.
+	AvailFNoInterrupt uint16 = 1 << 0
+)
+
+// SetNoNotify publishes (or clears) the device's doorbell-suppression flag
+// in the used ring.
+func (q *Queue) SetNoNotify(suppress bool) error {
+	var flags uint16
+	if suppress {
+		flags = UsedFNoNotify
+	}
+	return q.writeU16(q.usedAddr, flags)
+}
+
+// InterruptSuppressed reads the driver's interrupt-suppression flag from the
+// avail ring — the device checks it before raising a completion interrupt.
+func (q *Queue) InterruptSuppressed() (bool, error) {
+	flags, err := q.readU16(q.availAddr)
+	if err != nil {
+		return false, err
+	}
+	return flags&AvailFNoInterrupt != 0, nil
+}
+
+// SetNoInterrupt publishes (or clears) the driver's interrupt-suppression
+// flag in the avail ring.
+func (d *DriverQueue) SetNoInterrupt(suppress bool) error {
+	var flags uint16
+	if suppress {
+		flags = AvailFNoInterrupt
+	}
+	return d.writeU16(d.avail, flags)
+}
+
+// KickSuppressed reads the device's doorbell-suppression flag from the used
+// ring — the driver checks it before writing the doorbell.
+func (d *DriverQueue) KickSuppressed() (bool, error) {
+	flags, err := d.readU16(d.used)
+	if err != nil {
+		return false, err
+	}
+	return flags&UsedFNoNotify != 0, nil
+}
+
+func (d *DriverQueue) readU16(a mem.Addr) (uint16, error) {
+	var b [2]byte
+	if err := d.space.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+func (d *DriverQueue) writeU16(a mem.Addr, v uint16) error {
+	return d.space.Write(a, []byte{byte(v), byte(v >> 8)})
+}

@@ -1,0 +1,93 @@
+package vmx
+
+import "strings"
+
+// Caps is the virtualization capability word a hypervisor reads to discover
+// what the platform under it supports — on hardware this is the family of
+// IA32_VMX_* capability MSRs collapsed into one bitmask for the simulator.
+//
+// DVH (the paper's contribution) extends this word: the host hypervisor
+// advertises CapVirtualTimer and CapVirtualIPI to its guests as if they were
+// hardware features, even though it implements them in software. A guest
+// hypervisor discovers them here exactly as it would discover VMCS shadowing
+// or APICv.
+type Caps uint64
+
+const (
+	// CapVMX: virtualization support at all (VT-x present).
+	CapVMX Caps = 1 << 0
+	// CapEPT: extended page tables.
+	CapEPT Caps = 1 << 1
+	// CapVMCSShadowing: shadow VMCS hardware (Haswell+), which lets a guest
+	// hypervisor's VMREAD/VMWRITE run without exiting.
+	CapVMCSShadowing Caps = 1 << 2
+	// CapAPICv: APIC register virtualization and virtual interrupt delivery.
+	CapAPICv Caps = 1 << 3
+	// CapPostedInterrupts: CPU posted-interrupt processing.
+	CapPostedInterrupts Caps = 1 << 4
+	// CapPreemptionTimer: the VMX-preemption timer.
+	CapPreemptionTimer Caps = 1 << 5
+	// CapIOMMU: a (VT-d style) IOMMU is available for device assignment.
+	CapIOMMU Caps = 1 << 6
+	// CapIOMMUPostedInterrupts: the IOMMU can post device interrupts directly
+	// to a running vCPU.
+	CapIOMMUPostedInterrupts Caps = 1 << 7
+	// CapSRIOV: at least one physical device exposes SR-IOV virtual functions.
+	CapSRIOV Caps = 1 << 8
+
+	// CapVirtualTimer is DVH virtual timers (paper Section 3.2): a per-vCPU
+	// software LAPIC timer provided by the host hypervisor that guest
+	// hypervisors may hand to their nested VMs.
+	CapVirtualTimer Caps = 1 << 32
+	// CapVirtualIPI is DVH virtual IPIs (paper Section 3.3): the virtual ICR
+	// plus the VCIMT through which the host translates nested-VM IPI
+	// destinations.
+	CapVirtualIPI Caps = 1 << 33
+)
+
+// Has reports whether every capability in want is present.
+func (c Caps) Has(want Caps) bool { return c&want == want }
+
+// With returns the capability word with extra bits added.
+func (c Caps) With(extra Caps) Caps { return c | extra }
+
+// Without returns the capability word with bits removed.
+func (c Caps) Without(drop Caps) Caps { return c &^ drop }
+
+var capNames = []struct {
+	bit  Caps
+	name string
+}{
+	{CapVMX, "VMX"},
+	{CapEPT, "EPT"},
+	{CapVMCSShadowing, "VMCS_SHADOWING"},
+	{CapAPICv, "APICv"},
+	{CapPostedInterrupts, "POSTED_INTERRUPTS"},
+	{CapPreemptionTimer, "PREEMPTION_TIMER"},
+	{CapIOMMU, "IOMMU"},
+	{CapIOMMUPostedInterrupts, "IOMMU_PI"},
+	{CapSRIOV, "SR-IOV"},
+	{CapVirtualTimer, "DVH_VIRTUAL_TIMER"},
+	{CapVirtualIPI, "DVH_VIRTUAL_IPI"},
+}
+
+// String lists the set capabilities, pipe-separated.
+func (c Caps) String() string {
+	var parts []string
+	for _, e := range capNames {
+		if c.Has(e.bit) {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// HardwareCaps is the capability word of the paper's evaluation machines:
+// Xeon Silver 4114 with VMCS shadowing, APICv with posted interrupts, VT-d
+// with posted interrupts, and an SR-IOV capable NIC.
+const HardwareCaps = CapVMX | CapEPT | CapVMCSShadowing | CapAPICv |
+	CapPostedInterrupts | CapPreemptionTimer | CapIOMMU |
+	CapIOMMUPostedInterrupts | CapSRIOV

@@ -1,0 +1,64 @@
+package vmx
+
+// Merge models the "vmcs02" construction a host hypervisor performs before
+// running a nested VM (KVM's prepare_vmcs02): the structure the hardware
+// actually uses combines the guest hypervisor's wishes for its nested VM
+// (vmcs12) with the host's own requirements for the enclosing VM (vmcs01).
+// The combining rules are what make nested virtualization sound:
+//
+//   - guest state comes from vmcs12 (the nested VM's registers);
+//   - host state comes from vmcs01 (exits land in the *host* hypervisor);
+//   - trap controls OR together — an exit wanted by either level must trap,
+//     and the host reflects it onward if it belongs to the guest hypervisor;
+//   - the TSC offsets add, so the nested VM reads its own virtual time;
+//   - the DVH tertiary controls carry the guest hypervisor's enable bits
+//     through, which is how the host sees them at exit time (Sections
+//     3.2/3.3), along with the VCIMTAR;
+//   - feature enables the host must implement (EPT, APICv) come from vmcs01.
+func Merge(vmcs01, vmcs12 *VMCS) *VMCS {
+	out := NewVMCS()
+
+	// Guest state: the nested VM's.
+	out.CopyGuestState(vmcs12)
+
+	// Host state: the real host's.
+	for _, f := range []Field{FieldHostRIP, FieldHostRSP, FieldHostCR3} {
+		out.Write(f, vmcs01.Read(f))
+	}
+
+	// Trap controls OR; a trap either level wants must reach the host.
+	out.Write(FieldPinBasedControls, vmcs01.Read(FieldPinBasedControls)|vmcs12.Read(FieldPinBasedControls))
+	out.Write(FieldProcBasedControls, vmcs01.Read(FieldProcBasedControls)|vmcs12.Read(FieldProcBasedControls))
+	out.Write(FieldExceptionBitmap, vmcs01.Read(FieldExceptionBitmap)|vmcs12.Read(FieldExceptionBitmap))
+
+	// Secondary controls: host-implemented features from vmcs01, plus the
+	// guest-visible virtualization features both levels agree on.
+	hostOnly := Proc2EnableEPT | Proc2VMCSShadowing
+	agreed := (vmcs01.Read(FieldProcBasedControls2) & vmcs12.Read(FieldProcBasedControls2)) &^ hostOnly
+	out.Write(FieldProcBasedControls2, vmcs01.Read(FieldProcBasedControls2)&hostOnly|agreed)
+
+	// DVH tertiary controls and the VCIMT pointer travel from vmcs12 — the
+	// guest hypervisor's configuration of the virtual hardware.
+	out.Write(FieldProcBasedControls3, vmcs12.Read(FieldProcBasedControls3))
+	out.Write(FieldVCIMTAR, vmcs12.Read(FieldVCIMTAR))
+
+	// TSC offsets accumulate down the chain.
+	out.SetTSCOffset(vmcs01.TSCOffset() + vmcs12.TSCOffset())
+
+	out.Load()
+	return out
+}
+
+// MergeChain folds a whole nesting chain, outermost (vmcs01) first, into
+// the structure the hardware would run the innermost guest with — the
+// generalization recursive virtualization needs.
+func MergeChain(chain ...*VMCS) *VMCS {
+	if len(chain) == 0 {
+		return NewVMCS()
+	}
+	out := chain[0]
+	for _, next := range chain[1:] {
+		out = Merge(out, next)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/apic"
+	"repro/internal/hyper"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Runner drives one application profile against one VM configuration. A nil
+// VM runs the profile "natively": pure compute, no virtualization events.
+type Runner struct {
+	W  *hyper.World
+	VM *hyper.VM
+	// Net and Blk are the VM's I/O devices; Net is required whenever the
+	// profile has network activity, Blk whenever it has block activity.
+	Net *hyper.AssignedDevice
+	Blk *hyper.AssignedDevice
+	P   Profile
+	// RNG, when non-nil, jitters per-transaction work by a few percent to
+	// model run-to-run measurement variation — what makes the paper's
+	// artifact methodology (many runs, best average; Appendix A.6)
+	// meaningful to reproduce.
+	RNG *sim.RNG
+}
+
+// workJitterPermille bounds the ± work variation applied per transaction.
+const workJitterPermille = 30
+
+// Result summarizes a run.
+type Result struct {
+	Profile Profile
+	// Transactions executed.
+	Transactions int
+	// TotalCycles across the run (per driving core).
+	TotalCycles sim.Cycles
+	// CyclesPerTxn is the average cost of a transaction including
+	// virtualization events.
+	CyclesPerTxn float64
+	// Overhead is CyclesPerTxn / native WorkCycles — the quantity the
+	// paper's Figures 7, 9 and 10 plot (1.0 = native speed).
+	Overhead float64
+	// Score is the projected benchmark metric in Profile.Unit.
+	Score float64
+	// Latency is the per-transaction cost distribution; tail quantiles show
+	// the transactions that hit expensive forwarded paths.
+	Latency trace.Histogram
+	// Breakdown attributes virtualization cycles to the operation class that
+	// spent them — the per-mechanism view behind Figure 8.
+	Breakdown map[string]sim.Cycles
+}
+
+// carry implements deterministic fractional op scheduling: an op with rate
+// 0.3/txn fires on the transactions where the accumulated rate crosses an
+// integer.
+type carry struct{ acc float64 }
+
+func (c *carry) take(rate float64) int {
+	c.acc += rate
+	n := int(c.acc)
+	c.acc -= float64(n)
+	return n
+}
+
+// Run executes n transactions and returns the summary.
+func (r *Runner) Run(n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("workload: need a positive transaction count")
+	}
+	p := r.P
+	res := Result{Profile: p, Transactions: n}
+
+	if r.VM == nil {
+		// Native execution: the access mix costs only its (tiny) user/kernel
+		// work, already folded into WorkCycles.
+		res.TotalCycles = sim.Cycles(n) * p.WorkCycles
+		res.CyclesPerTxn = float64(p.WorkCycles)
+		res.Overhead = 1.0
+		res.Score = p.NativeScore
+		return res, nil
+	}
+	if (p.TxKicks > 0 || p.RxBatches > 0) && r.Net == nil {
+		return Result{}, fmt.Errorf("workload %s: profile has network activity but no net device", p.Name)
+	}
+	if p.BlkOps > 0 && r.Blk == nil {
+		return Result{}, fmt.Errorf("workload %s: profile has block activity but no blk device", p.Name)
+	}
+
+	st := newRunState(r)
+	for i := 0; i < n; i++ {
+		if _, err := r.transaction(st, i); err != nil {
+			return Result{}, err
+		}
+	}
+	return st.finish(n), nil
+}
+
+// runState carries the per-run accumulators shared by Run and RunFor.
+type runState struct {
+	r                                         *Runner
+	res                                       Result
+	total                                     sim.Cycles
+	kicks, rx, timers, ipis, idles, eois, blk carry
+}
+
+func newRunState(r *Runner) *runState {
+	st := &runState{r: r}
+	st.res.Profile = r.P
+	st.res.Breakdown = make(map[string]sim.Cycles)
+	return st
+}
+
+func (st *runState) finish(n int) Result {
+	st.res.Transactions = n
+	st.res.TotalCycles = st.total
+	st.res.CyclesPerTxn = float64(st.total) / float64(n)
+	st.res.Overhead = st.res.CyclesPerTxn / float64(st.r.P.WorkCycles)
+	if st.r.P.HigherIsBetter {
+		st.res.Score = st.r.P.NativeScore / st.res.Overhead
+	} else {
+		st.res.Score = st.r.P.NativeScore * st.res.Overhead
+	}
+	return st.res
+}
+
+// transaction executes one transaction and returns its cost.
+func (r *Runner) transaction(st *runState, i int) (sim.Cycles, error) {
+	p := r.P
+	res := &st.res
+	kicks, rx, timers, ipis, idles, eois, blk := &st.kicks, &st.rx, &st.timers, &st.ipis, &st.idles, &st.eois, &st.blk
+	vcpus := r.VM.VCPUs
+	total := st.total
+	{
+		txnStart := total
+		driving := p.Cores
+		if driving > len(vcpus) {
+			driving = len(vcpus)
+		}
+		v := vcpus[i%driving]
+		work := p.WorkCycles
+		if r.RNG != nil {
+			span := work * workJitterPermille / 1000
+			work = work - span + r.RNG.Cyclesn(2*span+1)
+		}
+		total += work
+		r.W.Host.Machine.Stats.ChargeGuest(work)
+
+		for k := kicks.take(p.TxKicks); k > 0; k-- {
+			c, err := r.W.Execute(v, hyper.DevNotify(r.Net.Doorbell))
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			res.Breakdown["kick"] += c
+		}
+		for k := rx.take(p.RxBatches); k > 0; k-- {
+			c, err := r.W.DeviceRX(r.Net, v)
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			res.Breakdown["rx"] += c
+		}
+		for k := timers.take(p.Timers); k > 0; k-- {
+			c, err := r.W.Execute(v, hyper.ProgramTimer(uint64(r.W.Host.Machine.Engine.Now())+1_000_000))
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			res.Breakdown["timer"] += c
+		}
+		for k := ipis.take(p.IPIs); k > 0; k-- {
+			dest := uint32((v.ID + 1) % len(vcpus))
+			c, err := r.W.Execute(v, hyper.SendIPI(dest, apic.VectorReschedule))
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			res.Breakdown["ipi"] += c
+		}
+		for k := idles.take(p.Idles); k > 0; k-- {
+			c, err := r.W.Execute(v, hyper.Halt())
+			if err != nil {
+				return 0, err
+			}
+			wake, err := r.W.WakeIfIdle(v)
+			if err != nil {
+				return 0, err
+			}
+			total += c + wake
+			res.Breakdown["idle"] += c + wake
+		}
+		for k := eois.take(p.EOIs); k > 0; k-- {
+			c, err := r.W.Execute(v, hyper.EOI())
+			if err != nil {
+				return 0, err
+			}
+			total += c
+			res.Breakdown["eoi"] += c
+		}
+		for k := blk.take(p.BlkOps); k > 0; k-- {
+			c, err := r.W.Execute(v, hyper.DevNotify(r.Blk.Doorbell))
+			if err != nil {
+				return 0, err
+			}
+			irq, err := r.W.DeliverDeviceIRQ(r.Blk, v)
+			if err != nil {
+				return 0, err
+			}
+			total += c + irq
+			res.Breakdown["blk"] += c + irq
+		}
+		res.Latency.Observe(total - txnStart)
+		st.total = total
+		r.W.Host.Machine.CPU(v.PhysCPU).Busy += total - txnStart
+		return total - txnStart, nil
+	}
+}
+
+// Utilization reports each physical CPU's busy cycles accumulated by runs on
+// this runner's machine, for capacity analysis across configurations.
+func (r *Runner) Utilization() map[int]sim.Cycles {
+	out := make(map[int]sim.Cycles)
+	for _, cpu := range r.W.Host.Machine.CPUs {
+		if cpu.Busy > 0 {
+			out[cpu.ID] = cpu.Busy
+		}
+	}
+	return out
+}
+
+// RunMicro measures one Table 1 microbenchmark on a vCPU, returning the
+// average cost in cycles over iters iterations (the paper reports cycles, so
+// no throughput conversion is involved).
+func RunMicro(w *hyper.World, v *hyper.VCPU, m Micro, net *hyper.AssignedDevice, iters int) (sim.Cycles, error) {
+	if iters <= 0 {
+		iters = 1
+	}
+	var total sim.Cycles
+	for i := 0; i < iters; i++ {
+		var op hyper.Op
+		switch m {
+		case MicroHypercall:
+			op = hyper.Hypercall()
+		case MicroDevNotify:
+			if net == nil {
+				return 0, fmt.Errorf("workload: DevNotify microbenchmark needs a net device")
+			}
+			op = hyper.DevNotify(net.Doorbell)
+		case MicroProgramTimer:
+			op = hyper.ProgramTimer(uint64(w.Host.Machine.Engine.Now()) + 1_000_000)
+		case MicroSendIPI:
+			// Table 1: the destination vCPU is idle and must be woken.
+			dest := v.VM.VCPUs[(v.ID+1)%len(v.VM.VCPUs)]
+			if _, err := w.Execute(dest, hyper.Halt()); err != nil {
+				return 0, err
+			}
+			op = hyper.SendIPI(uint32(dest.ID), apic.VectorReschedule)
+		}
+		c, err := w.Execute(v, op)
+		if err != nil {
+			return 0, err
+		}
+		if m == MicroSendIPI {
+			// The halt's own cost is not part of the send+receive metric.
+			dest := v.VM.VCPUs[(v.ID+1)%len(v.VM.VCPUs)]
+			if dest.Idle {
+				return 0, fmt.Errorf("workload: SendIPI did not wake the destination")
+			}
+		}
+		total += c
+	}
+	return total / sim.Cycles(iters), nil
+}
+
+// RunFor drives the workload for a span of *simulated time*: transactions
+// execute back to back while the machine's event clock advances with them,
+// so hrtimers armed by ProgramTimer operations genuinely fire mid-run and
+// deliver their interrupts through the posted or injected paths. Run, by
+// contrast, never advances the engine, which suits pure cost measurement;
+// RunFor is the mode for experiments about event interleaving.
+func (r *Runner) RunFor(duration sim.Cycles) (Result, error) {
+	if r.VM == nil {
+		return Result{}, fmt.Errorf("workload: RunFor needs a VM (native runs have no event timeline)")
+	}
+	if (r.P.TxKicks > 0 || r.P.RxBatches > 0) && r.Net == nil {
+		return Result{}, fmt.Errorf("workload %s: profile has network activity but no net device", r.P.Name)
+	}
+	if r.P.BlkOps > 0 && r.Blk == nil {
+		return Result{}, fmt.Errorf("workload %s: profile has block activity but no blk device", r.P.Name)
+	}
+	eng := r.W.Host.Machine.Engine
+	end := eng.Now() + duration
+	st := newRunState(r)
+	n := 0
+	for eng.Now() < end {
+		cost, err := r.transaction(st, n)
+		if err != nil {
+			return Result{}, err
+		}
+		if cost == 0 {
+			cost = 1 // a zero-cost transaction cannot advance time
+		}
+		n++
+		// Advance the timeline past this transaction, firing any events
+		// (timer expirations, wakes) that fall inside it.
+		eng.RunUntil(eng.Now() + cost)
+	}
+	return st.finish(n), nil
+}
