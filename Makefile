@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the harness and hot-path benchmarks: Figure 7 sequential vs
+# parallel pool, and the allocation-free nested Execute path.
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkFigure7|BenchmarkExecuteNested' -benchmem ./internal/experiment/ ./internal/hyper/
+
+# check is the full gate: everything must build, vet clean, and pass the
+# test suite under the race detector (the parallel harness runs Worlds on
+# multiple goroutines, so -race is part of tier 1, not an extra).
+check: build vet race
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -32,7 +33,11 @@ func main() {
 	runs := flag.Int("runs", 3, "number of runs (the appendix recommends at least 3)")
 	benchmarks := flag.String("benchmarks", "all", "comma-separated Table 2 benchmark names, or 'all'")
 	seed := flag.Uint64("seed", 2020, "base seed for run-to-run variation")
+	par := flag.Int("parallel", 0, "worker goroutines for samples: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
 	flag.Parse()
+	if *par < 0 {
+		fatalf("-parallel must be >= 0")
+	}
 
 	depth := map[string]int{"L0": 0, "L1": 1, "L2": 2, "L3": 3}
 	d, ok := depth[*level]
@@ -78,12 +83,19 @@ func main() {
 			samples[s] = make([]float64, *runs)
 		}
 		runAvgs := make([]float64, *runs)
+		// Every (run, sample) pair builds a fresh stack with its own seeded
+		// RNG, so samples are independent cells for the worker pool; scores
+		// land by index, keeping the CSV identical at any width.
+		scores, err := parallel.Map(*par, *runs*samplesPerRun, func(i int) (float64, error) {
+			r, s := i/samplesPerRun, i%samplesPerRun
+			return oneSample(spec, d, p, *seed+uint64(r*1000+s))
+		})
+		if err != nil {
+			fatalf("%s: %v", p.Name, err)
+		}
 		for r := 0; r < *runs; r++ {
 			for s := 0; s < samplesPerRun; s++ {
-				score, err := oneSample(spec, d, p, *seed+uint64(r*1000+s))
-				if err != nil {
-					fatalf("%s run %d: %v", p.Name, r, err)
-				}
+				score := scores[r*samplesPerRun+s]
 				samples[s][r] = score
 				runAvgs[r] += score / samplesPerRun
 			}

@@ -23,8 +23,13 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate a figure (7, 8, 9, 10)")
 	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | latency)")
 	all := flag.Bool("all", false, "regenerate everything")
+	par := flag.Int("parallel", 0, "worker goroutines for experiment cells: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
 	flag.StringVar(&format, "format", "table", "figure output format: table | chart | csv")
 	flag.Parse()
+	if *par < 0 {
+		fatalf("-parallel must be >= 0")
+	}
+	experiment.SetParallelism(*par)
 	switch format {
 	case "table", "chart", "csv":
 	default:

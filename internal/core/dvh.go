@@ -197,7 +197,7 @@ func (d *DVH) configureVMControls(vm *hyper.VM) {
 // TryHandle implements hyper.DVHHost: the host inspects an exit from a
 // nested VM and, when the corresponding virtual hardware is enabled, handles
 // it directly (paper Figure 1b). Returned work is charged to the stats sink.
-func (d *DVH) TryHandle(w *hyper.World, v *hyper.VCPU, op *hyper.Op) (bool, sim.Cycles, error) {
+func (d *DVH) TryHandle(w *hyper.World, v *hyper.VCPU, op hyper.Op) (bool, sim.Cycles, error) {
 	c := &w.Costs
 	stats := w.Host.Machine.Stats
 	switch op.Kind {

@@ -30,31 +30,29 @@ func Breakdown() ([]BreakdownRow, error) {
 		{"Nested VM+DVH-VP", Spec{Depth: 2, IO: IODVHVP}},
 		{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
 	}
-	var rows []BreakdownRow
-	for _, cfg := range configs {
+	profiles := workload.Profiles()
+	return mapCells(len(configs)*len(profiles), func(i int) (BreakdownRow, error) {
+		cfg, p := configs[i/len(profiles)], profiles[i%len(profiles)]
 		st, err := Build(cfg.spec)
 		if err != nil {
-			return nil, err
+			return BreakdownRow{}, err
 		}
-		for _, p := range workload.Profiles() {
-			r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
-			res, err := r.Run(appTxns)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", p.Name, cfg.label, err)
-			}
-			row := BreakdownRow{
-				Workload:   p.Name,
-				Config:     cfg.label,
-				PerTxn:     make(map[string]float64, len(res.Breakdown)),
-				WorkCycles: float64(p.WorkCycles),
-			}
-			for k, c := range res.Breakdown {
-				row.PerTxn[k] = float64(c) / float64(res.Transactions)
-			}
-			rows = append(rows, row)
+		r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
+		res, err := r.Run(appTxns)
+		if err != nil {
+			return BreakdownRow{}, fmt.Errorf("%s on %s: %w", p.Name, cfg.label, err)
 		}
-	}
-	return rows, nil
+		row := BreakdownRow{
+			Workload:   p.Name,
+			Config:     cfg.label,
+			PerTxn:     make(map[string]float64, len(res.Breakdown)),
+			WorkCycles: float64(p.WorkCycles),
+		}
+		for k, c := range res.Breakdown {
+			row.PerTxn[k] = float64(c) / float64(res.Transactions)
+		}
+		return row, nil
+	})
 }
 
 // breakdownOps fixes the column order of the report.

@@ -27,38 +27,45 @@ func DepthSweep(maxDepth int) ([]DepthRow, error) {
 	if maxDepth < 1 || maxDepth > 4 {
 		return nil, fmt.Errorf("experiment: depth sweep supports 1..4, got %d", maxDepth)
 	}
-	var rows []DepthRow
-	for _, m := range workload.Micros() {
-		rows = append(rows, DepthRow{Micro: m.String()})
-	}
-	for depth := 1; depth <= maxDepth; depth++ {
-		plain, err := Build(Spec{Depth: depth, IO: IOParavirt})
+	micros := workload.Micros()
+	// One pool cell per (depth, micro): the cell builds its own plain stack
+	// (and, at depth >= 2, its own DVH stack) so cells share nothing.
+	type depthCost struct{ fwd, dvh sim.Cycles }
+	runAt := func(spec Spec, m workload.Micro) (sim.Cycles, error) {
+		st, err := Build(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		var dvh *Stack
-		if depth >= 2 {
-			dvh, err = Build(Spec{Depth: depth, IO: IODVH})
-			if err != nil {
-				return nil, err
-			}
+		return workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, microIters)
+	}
+	costs, err := mapCells(maxDepth*len(micros), func(i int) (depthCost, error) {
+		depth, m := i/len(micros)+1, micros[i%len(micros)]
+		c, err := runAt(Spec{Depth: depth, IO: IOParavirt}, m)
+		if err != nil {
+			return depthCost{}, err
 		}
-		for mi, m := range workload.Micros() {
-			c, err := workload.RunMicro(plain.World, plain.Target.VCPUs[0], m, plain.Net, microIters)
-			if err != nil {
-				return nil, err
-			}
-			rows[mi].Forwarded = append(rows[mi].Forwarded, c)
-			if dvh == nil {
-				rows[mi].DVH = append(rows[mi].DVH, c)
-				continue
-			}
-			dc, err := workload.RunMicro(dvh.World, dvh.Target.VCPUs[0], m, dvh.Net, microIters)
-			if err != nil {
-				return nil, err
-			}
-			rows[mi].DVH = append(rows[mi].DVH, dc)
+		if depth < 2 {
+			// Depth 1 has no DVH variant; the plain cost is repeated.
+			return depthCost{fwd: c, dvh: c}, nil
 		}
+		dc, err := runAt(Spec{Depth: depth, IO: IODVH}, m)
+		if err != nil {
+			return depthCost{}, err
+		}
+		return depthCost{fwd: c, dvh: dc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DepthRow
+	for mi, m := range micros {
+		row := DepthRow{Micro: m.String()}
+		for depth := 1; depth <= maxDepth; depth++ {
+			c := costs[(depth-1)*len(micros)+mi]
+			row.Forwarded = append(row.Forwarded, c.fwd)
+			row.DVH = append(row.DVH, c.dvh)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

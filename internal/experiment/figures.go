@@ -28,7 +28,9 @@ type Table3Row struct {
 }
 
 // Table3 reproduces the paper's Table 3: microbenchmark cost in cycles for
-// VM, nested VM, nested VM + DVH, L3 VM, and L3 VM + DVH.
+// VM, nested VM, nested VM + DVH, L3 VM, and L3 VM + DVH. Each (spec, micro)
+// cell builds its own isolated stack, so cells fan out across the worker
+// pool; costs are deterministic, so the result is identical at any width.
 func Table3() ([]Table3Row, error) {
 	specs := []Spec{
 		{Depth: 1, IO: IOParavirt},
@@ -37,29 +39,31 @@ func Table3() ([]Table3Row, error) {
 		{Depth: 3, IO: IOParavirt},
 		{Depth: 3, IO: IODVH},
 	}
-	cols := make([][]sim.Cycles, len(specs))
-	for i, spec := range specs {
+	micros := workload.Micros()
+	costs, err := mapCells(len(specs)*len(micros), func(i int) (sim.Cycles, error) {
+		spec, m := specs[i/len(micros)], micros[i%len(micros)]
 		st, err := Build(spec)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		for _, m := range workload.Micros() {
-			c, err := workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, microIters)
-			if err != nil {
-				return nil, fmt.Errorf("table3 %v on %+v: %w", m, spec, err)
-			}
-			cols[i] = append(cols[i], c)
+		c, err := workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, microIters)
+		if err != nil {
+			return 0, fmt.Errorf("table3 %v on %+v: %w", m, spec, err)
 		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var rows []Table3Row
-	for mi, m := range workload.Micros() {
+	for mi, m := range micros {
 		rows = append(rows, Table3Row{
 			Name:    m.String(),
-			VM:      cols[0][mi],
-			Nested:  cols[1][mi],
-			NestedD: cols[2][mi],
-			L3:      cols[3][mi],
-			L3D:     cols[4][mi],
+			VM:      costs[0*len(micros)+mi],
+			Nested:  costs[1*len(micros)+mi],
+			NestedD: costs[2*len(micros)+mi],
+			L3:      costs[3*len(micros)+mi],
+			L3D:     costs[4*len(micros)+mi],
 		})
 	}
 	return rows, nil
@@ -92,30 +96,31 @@ type appConfig struct {
 	spec  Spec
 }
 
-// runApps measures every Table 2 workload on each configuration.
+// runApps measures every Table 2 workload on each configuration. Each
+// (config, workload) cell builds a fully isolated World and runs on the
+// harness worker pool; results come back in cell order, so the output is
+// byte-identical whether the pool runs one worker or many.
 func runApps(configs []appConfig) ([]AppResult, error) {
-	var out []AppResult
-	for _, cfg := range configs {
+	profiles := workload.Profiles()
+	return mapCells(len(configs)*len(profiles), func(i int) (AppResult, error) {
+		cfg, p := configs[i/len(profiles)], profiles[i%len(profiles)]
 		st, err := Build(cfg.spec)
 		if err != nil {
-			return nil, fmt.Errorf("building %s: %w", cfg.label, err)
+			return AppResult{}, fmt.Errorf("building %s: %w", cfg.label, err)
 		}
-		for _, p := range workload.Profiles() {
-			r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
-			res, err := r.Run(appTxns)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", p.Name, cfg.label, err)
-			}
-			out = append(out, AppResult{
-				Workload: p.Name,
-				Config:   cfg.label,
-				Overhead: res.Overhead,
-				Score:    res.Score,
-				Unit:     p.Unit,
-			})
+		r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
+		res, err := r.Run(appTxns)
+		if err != nil {
+			return AppResult{}, fmt.Errorf("%s on %s: %w", p.Name, cfg.label, err)
 		}
-	}
-	return out, nil
+		return AppResult{
+			Workload: p.Name,
+			Config:   cfg.label,
+			Overhead: res.Overhead,
+			Score:    res.Score,
+			Unit:     p.Unit,
+		}, nil
+	})
 }
 
 // Figure7 reproduces application overhead at up to two virtualization

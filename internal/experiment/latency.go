@@ -30,34 +30,31 @@ func LatencyTails() ([]LatencyRow, error) {
 		{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
 	}
 	workloads := []string{"Netperf RR", "Memcached", "Apache"}
-	var rows []LatencyRow
-	for _, cfg := range configs {
+	return mapCells(len(configs)*len(workloads), func(i int) (LatencyRow, error) {
+		cfg, name := configs[i/len(workloads)], workloads[i%len(workloads)]
+		p, ok := workload.ProfileByName(name)
+		if !ok {
+			return LatencyRow{}, fmt.Errorf("experiment: unknown workload %q", name)
+		}
 		st, err := Build(cfg.spec)
 		if err != nil {
-			return nil, err
+			return LatencyRow{}, err
 		}
-		for _, name := range workloads {
-			p, ok := workload.ProfileByName(name)
-			if !ok {
-				return nil, fmt.Errorf("experiment: unknown workload %q", name)
-			}
-			r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
-			res, err := r.Run(appTxns)
-			if err != nil {
-				return nil, err
-			}
-			hz := float64(st.Machine.ClockHz)
-			rows = append(rows, LatencyRow{
-				Workload: name,
-				Config:   cfg.label,
-				P50:      res.Latency.Quantile(0.50),
-				P99:      res.Latency.Quantile(0.99),
-				Max:      res.Latency.Max(),
-				MeanUS:   res.Latency.Mean() / hz * 1e6,
-			})
+		r := workload.Runner{W: st.World, VM: st.Target, Net: st.Net, Blk: st.Blk, P: p}
+		res, err := r.Run(appTxns)
+		if err != nil {
+			return LatencyRow{}, err
 		}
-	}
-	return rows, nil
+		hz := float64(st.Machine.ClockHz)
+		return LatencyRow{
+			Workload: name,
+			Config:   cfg.label,
+			P50:      res.Latency.Quantile(0.50),
+			P99:      res.Latency.Quantile(0.99),
+			Max:      res.Latency.Max(),
+			MeanUS:   res.Latency.Mean() / hz * 1e6,
+		}, nil
+	})
 }
 
 // FormatLatency renders the distribution table.

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// parallelism holds the harness-wide worker count for figure/table cells:
+// 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential, N = cap at N.
+// It is atomic so cmd flags and tests can flip it around concurrent runs.
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of workers experiment sweeps fan cells out
+// to. 0 restores the default (NVSIM_PARALLEL env or GOMAXPROCS); 1 forces
+// the sequential debugging path.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the effective worker count sweeps will use.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return parallel.DefaultWorkers()
+}
+
+// mapCells fans the cells of one figure/table out across the harness worker
+// pool. Each cell callback builds its own Stack (and therefore its own
+// Machine, Engine and Stats), so no simulator state crosses goroutines;
+// results come back in cell order, which is what makes parallel output
+// byte-identical to sequential output.
+func mapCells[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(Parallelism(), n, fn)
+}

@@ -68,6 +68,7 @@ func (vm *VM) Destroy() error {
 	for _, v := range vm.VCPUs {
 		v.Idle = true // never schedulable again
 	}
+	owner.Machine.TopoGen++
 	return nil
 }
 
@@ -90,6 +91,7 @@ func (v *VCPU) Repin(target int) error {
 	}
 	v.Parent = parentVM.VCPUs[target]
 	v.setPhysCPU(v.Parent.PhysCPU)
+	v.VM.Owner.Machine.TopoGen++
 	return nil
 }
 

@@ -18,6 +18,10 @@ type Scheduler struct {
 	rr map[int]int
 	// Switches counts context switches performed.
 	Switches uint64
+
+	// scratch backs candidates so the HLT exit path does not allocate a
+	// fresh slice on every pick. Valid only until the next candidates call.
+	scratch []*VCPU
 }
 
 // EnsureScheduler returns the hypervisor's scheduler, creating it on first
@@ -30,8 +34,9 @@ func (h *Hypervisor) EnsureScheduler() *Scheduler {
 }
 
 // candidates lists the hypervisor's guest vCPUs pinned to the given CPU.
+// The returned slice aliases the scheduler's scratch buffer.
 func (s *Scheduler) candidates(physCPU int) []*VCPU {
-	var out []*VCPU
+	out := s.scratch[:0]
 	for _, vm := range s.h.Guests {
 		for _, v := range vm.VCPUs {
 			if v.PhysCPU == physCPU {
@@ -39,6 +44,7 @@ func (s *Scheduler) candidates(physCPU int) []*VCPU {
 			}
 		}
 	}
+	s.scratch = out
 	return out
 }
 

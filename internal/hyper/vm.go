@@ -121,6 +121,12 @@ type VCPU struct {
 	PhysCPU int
 	// Idle marks a vCPU blocked in HLT.
 	Idle bool
+
+	// stackCache memoizes World.stack for this vCPU — the hypervisor at
+	// each level beneath it — valid while stackGen matches the machine's
+	// TopoGen. The exit path consults it on every operation.
+	stackCache []*Hypervisor
+	stackGen   uint64
 }
 
 // CreateVM builds a VM under this hypervisor.
@@ -180,6 +186,7 @@ func (h *Hypervisor) CreateVM(cfg VMConfig) (*VM, error) {
 		vm.VCPUs = append(vm.VCPUs, v)
 	}
 	h.Guests = append(h.Guests, vm)
+	h.Machine.TopoGen++
 	return vm, nil
 }
 
@@ -225,6 +232,7 @@ func (vm *VM) InstallHypervisor(p Personality, name string) *Hypervisor {
 		carveNext:   1,
 	}
 	vm.GuestHyp = gh
+	vm.Owner.Machine.TopoGen++
 	if vm.Level == 1 && vm.Owner.Caps.Has(vmx.CapVMCSShadowing) {
 		for _, v := range vm.VCPUs {
 			v.VMCS.LinkShadow(vmx.NewVMCS())

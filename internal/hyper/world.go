@@ -14,8 +14,11 @@ import (
 // guest hypervisors. TryHandle performs the emulation effects, charges its
 // own work to the stats sink, and returns that work so the caller can wrap
 // it in the fixed exit/dispatch/entry costs.
+// Op is passed by value: TryHandle never mutates it, and a pointer would
+// force every Execute call's op to escape to the heap through the interface
+// boundary — the steady-state exit path is kept allocation-free.
 type DVHHost interface {
-	TryHandle(w *World, v *VCPU, op *Op) (handled bool, work sim.Cycles, err error)
+	TryHandle(w *World, v *VCPU, op Op) (handled bool, work sim.Cycles, err error)
 }
 
 // World binds a host hypervisor, its cost model and the optional DVH layer
@@ -62,7 +65,15 @@ func reasonFor(op *Op) vmx.ExitReason {
 
 // stack returns the hypervisor at each level beneath v: stack[0] is the
 // host, stack[k] the guest hypervisor at level k, up to v.VM.Level-1.
+// The result is cached on the vCPU — Execute consults it on every exit —
+// and rebuilt when the machine's topology generation moves (VM creation or
+// destruction, hypervisor installation, repinning). Callers must not hold
+// the slice across topology changes.
 func (w *World) stack(v *VCPU) ([]*Hypervisor, error) {
+	gen := w.Host.Machine.TopoGen
+	if v.stackCache != nil && v.stackGen == gen {
+		return v.stackCache, nil
+	}
 	n := v.VM.Level
 	s := make([]*Hypervisor, n)
 	s[0] = w.Host
@@ -76,6 +87,7 @@ func (w *World) stack(v *VCPU) ([]*Hypervisor, error) {
 		}
 		s[k] = av.VM.GuestHyp
 	}
+	v.stackCache, v.stackGen = s, gen
 	return s, nil
 }
 
@@ -128,7 +140,7 @@ func (w *World) Execute(v *VCPU, op Op) (sim.Cycles, error) {
 
 	// DVH: the host may handle a nested VM's exit directly (Figure 1b).
 	if v.VM.Level >= 2 && w.DVH != nil {
-		handled, work, err := w.DVH.TryHandle(w, v, &op)
+		handled, work, err := w.DVH.TryHandle(w, v, op)
 		if err != nil {
 			return 0, err
 		}

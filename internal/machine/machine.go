@@ -102,6 +102,13 @@ type Machine struct {
 	IOMMU  *iommu.IOMMU
 	NIC    *NIC
 	SSD    *SSD
+
+	// TopoGen counts VM-topology mutations on this machine (VM creation and
+	// destruction, hypervisor installation, vCPU repinning). Per-vCPU caches
+	// derived from the nesting topology — the hypervisor stack the exit path
+	// walks — carry the generation they were built at and rebuild when it
+	// moves, which keeps the steady-state exit path allocation-free.
+	TopoGen uint64
 }
 
 // New assembles a machine from the config.

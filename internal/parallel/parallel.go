@@ -1,0 +1,109 @@
+// Package parallel fans independent work items out across host goroutines
+// while keeping results deterministic. It exists for the experiment harness:
+// every (config, workload) cell of a paper figure builds its own isolated
+// simulator World, so cells share no mutable state and can run on any
+// goroutine — the only requirements are that results come back in input
+// order and that errors propagate with enough context to find the cell.
+//
+// The simulation kernel itself stays single-threaded (determinism is a
+// property of each World's event timeline); parallelism lives strictly
+// *across* Worlds, never inside one.
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable overriding the default worker count.
+// NVSIM_PARALLEL=0 or =1 forces the sequential path (the debugging escape
+// hatch); higher values cap the fan-out.
+const EnvVar = "NVSIM_PARALLEL"
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// the NVSIM_PARALLEL environment variable when set to a positive integer
+// (0 counts as 1, i.e. sequential), otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			if n <= 1 {
+				return 1
+			}
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) using up to workers goroutines and
+// returns the results in input order. workers <= 0 means DefaultWorkers();
+// workers == 1 (or n <= 1) runs inline on the calling goroutine with no
+// synchronization at all — the sequential fallback.
+//
+// fn must be safe to call concurrently for distinct i (in the experiment
+// harness each call builds its own World, so this holds by construction).
+// On error, Map stops handing out new items, waits for in-flight items, and
+// returns the recorded error with the smallest index, wrapped with that
+// index for context. Results for items that never ran are zero values.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next item index to claim
+		failed atomic.Bool  // set on first error; stops new claims
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("parallel: item %d: %w", i, err)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("cell-%03d", i), nil }
+	seq, err := Map(1, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, 37, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("out[%d]: sequential %q != parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 50, func(i int) (int, error) {
+			if i == 7 {
+				return 0, sentinel
+			}
+			return i, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if !strings.Contains(err.Error(), "item 7") {
+			t.Fatalf("workers=%d: error lacks index context: %v", workers, err)
+		}
+	}
+}
+
+func TestMapErrorStopsNewWork(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(1, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("sequential path ran %d items after early error, want 4", got)
+	}
+}
+
+func TestMapWorkersClampedToItems(t *testing.T) {
+	// More workers than items must not panic or duplicate work.
+	var ran atomic.Int64
+	out, err := Map(32, 3, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 3 || len(out) != 3 {
+		t.Fatalf("ran=%d len=%d", ran.Load(), len(out))
+	}
+}
+
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv(EnvVar, "0")
+	if got := DefaultWorkers(); got != 1 {
+		t.Fatalf("NVSIM_PARALLEL=0 -> %d, want 1 (sequential)", got)
+	}
+	t.Setenv(EnvVar, "6")
+	if got := DefaultWorkers(); got != 6 {
+		t.Fatalf("NVSIM_PARALLEL=6 -> %d", got)
+	}
+	t.Setenv(EnvVar, "garbage")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("invalid env -> %d", got)
+	}
+}

@@ -75,9 +75,16 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.clock.Now() }
 
 // Schedule arranges for fn to run after delay cycles and returns an ID that
-// can be passed to Cancel.
+// can be passed to Cancel. A delay so large that now+delay would wrap the
+// unsigned timeline is clamped to the end of time instead of wrapping into
+// the past (which ScheduleAt would reject with a panic).
 func (e *Engine) Schedule(delay Cycles, fn Event) EventID {
-	return e.ScheduleAt(e.clock.Now()+delay, fn)
+	now := e.clock.Now()
+	t := now + delay
+	if t < now { // unsigned overflow
+		t = ^Time(0)
+	}
+	return e.ScheduleAt(t, fn)
 }
 
 // ScheduleAt arranges for fn to run at absolute time t. Scheduling in the past

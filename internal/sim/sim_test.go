@@ -217,6 +217,33 @@ func TestSchedulePastPanics(t *testing.T) {
 	e.ScheduleAt(5, func(*Engine) {})
 }
 
+func TestScheduleHugeDelayClamps(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(*Engine) {})
+	e.Run() // clock now at 10; now+delay below would wrap without the clamp
+	fired := false
+	e.Schedule(^Cycles(0), func(*Engine) { fired = true })
+	if got := e.Run(); got != ^Time(0) {
+		t.Fatalf("clamped event fired at %d, want end of timeline", got)
+	}
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestScheduleNoOverflowUnchanged(t *testing.T) {
+	// Ordinary delays must be unaffected by the overflow clamp.
+	e := NewEngine()
+	e.Schedule(3, func(*Engine) {})
+	e.Run()
+	var at Time
+	e.Schedule(7, func(e *Engine) { at = e.Now() })
+	e.Run()
+	if at != 10 {
+		t.Fatalf("event fired at %d, want 10", at)
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 1000; i++ {

@@ -81,11 +81,8 @@ func (r *Runner) Run(n int) (Result, error) {
 		res.Score = p.NativeScore
 		return res, nil
 	}
-	if (p.TxKicks > 0 || p.RxBatches > 0) && r.Net == nil {
-		return Result{}, fmt.Errorf("workload %s: profile has network activity but no net device", p.Name)
-	}
-	if p.BlkOps > 0 && r.Blk == nil {
-		return Result{}, fmt.Errorf("workload %s: profile has block activity but no blk device", p.Name)
+	if err := r.validate(); err != nil {
+		return Result{}, err
 	}
 
 	st := newRunState(r)
@@ -95,6 +92,18 @@ func (r *Runner) Run(n int) (Result, error) {
 		}
 	}
 	return st.finish(n), nil
+}
+
+// validate checks that the profile's I/O activity has devices to land on —
+// the shared precondition of Run and RunFor.
+func (r *Runner) validate() error {
+	if (r.P.TxKicks > 0 || r.P.RxBatches > 0) && r.Net == nil {
+		return fmt.Errorf("workload %s: profile has network activity but no net device", r.P.Name)
+	}
+	if r.P.BlkOps > 0 && r.Blk == nil {
+		return fmt.Errorf("workload %s: profile has block activity but no blk device", r.P.Name)
+	}
+	return nil
 }
 
 // runState carries the per-run accumulators shared by Run and RunFor.
@@ -285,11 +294,8 @@ func (r *Runner) RunFor(duration sim.Cycles) (Result, error) {
 	if r.VM == nil {
 		return Result{}, fmt.Errorf("workload: RunFor needs a VM (native runs have no event timeline)")
 	}
-	if (r.P.TxKicks > 0 || r.P.RxBatches > 0) && r.Net == nil {
-		return Result{}, fmt.Errorf("workload %s: profile has network activity but no net device", r.P.Name)
-	}
-	if r.P.BlkOps > 0 && r.Blk == nil {
-		return Result{}, fmt.Errorf("workload %s: profile has block activity but no blk device", r.P.Name)
+	if err := r.validate(); err != nil {
+		return Result{}, err
 	}
 	eng := r.W.Host.Machine.Engine
 	end := eng.Now() + duration

@@ -334,10 +334,14 @@ func TestRunForValidation(t *testing.T) {
 	if _, err := (&Runner{P: p}).RunFor(1000); err == nil {
 		t.Fatal("native RunFor accepted")
 	}
-	w, vm, _, _ := buildL2(t, 0)
+	w, vm, _, blk := buildL2(t, 0)
 	pr, _ := ProfileByName("Netperf RR")
 	if _, err := (&Runner{W: w, VM: vm, P: pr}).RunFor(1000); err == nil {
 		t.Fatal("RunFor without net device accepted")
+	}
+	pm, _ := ProfileByName("MySQL")
+	if _, err := (&Runner{W: w, VM: vm, Net: blk, P: pm}).RunFor(1000); err == nil {
+		t.Fatal("RunFor without blk device accepted")
 	}
 }
 
