@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check clean
+.PHONY: all build vet test race bench fuzz-smoke fuzz check clean
 
 all: check
 
@@ -21,10 +21,24 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkFigure7|BenchmarkExecuteNested' -benchmem ./internal/experiment/ ./internal/hyper/
 
-# check is the full gate: everything must build, vet clean, and pass the
-# test suite under the race detector (the parallel harness runs Worlds on
-# multiple goroutines, so -race is part of tier 1, not an extra).
-check: build vet race
+# FUZZ_TARGETS are the native fuzz targets in internal/check; go test allows
+# only one -fuzz per invocation, so fuzz-smoke loops. FUZZTIME=100x bounds
+# each target to 100 new inputs beyond the seed corpus — a mutation smoke
+# pass, not a campaign; use `make fuzz FUZZTIME=30s` for a real one.
+FUZZ_TARGETS := FuzzHistogram FuzzLAPIC FuzzMergeChain FuzzConfigSpace FuzzRestoreSnapshot FuzzStackCell
+FUZZTIME ?= 100x
+
+fuzz-smoke fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/check/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+# check is the full gate: everything must build, vet clean, pass the test
+# suite under the race detector (the parallel harness runs Worlds on
+# multiple goroutines, so -race is part of tier 1, not an extra), and
+# survive a fuzz smoke pass over the invariant-checker targets.
+check: build vet race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -28,7 +28,7 @@ func main() {
 
 	// The nested VM does some work: memory content plus an armed timer.
 	gm := l2.Memory()
-	addr := l2.AllocPages(1)
+	addr := l2.MustAllocPages(1)
 	payload := []byte("state that must survive suspend/resume")
 	if err := gm.Write(addr, payload); err != nil {
 		log.Fatal(err)

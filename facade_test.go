@@ -71,7 +71,7 @@ func TestFacadeSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := src.Target.AllocPages(1)
+	addr := src.Target.MustAllocPages(1)
 	if err := src.Target.Memory().Write(addr, []byte("facade")); err != nil {
 		t.Fatal(err)
 	}

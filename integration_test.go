@@ -31,7 +31,7 @@ func TestEndToEndVPNetworkPath(t *testing.T) {
 	gm := l2.Memory()
 
 	// The nested VM's driver sets up TX and RX rings in its own memory.
-	txBase := l2.AllocPages(4)
+	txBase := l2.MustAllocPages(4)
 	txq, err := virtio.NewDriverQueue(gm, txBase, 16)
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +39,7 @@ func TestEndToEndVPNetworkPath(t *testing.T) {
 	desc, avail, used := txq.Rings()
 	dev.Net.AttachQueue(virtio.NetTXQueue, virtio.NewQueue(dev.DMAView, 16, desc, avail, used))
 
-	rxBase := l2.AllocPages(4)
+	rxBase := l2.MustAllocPages(4)
 	rxq, err := virtio.NewDriverQueue(gm, rxBase, 16)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestEndToEndVPNetworkPath(t *testing.T) {
 	// TX: driver fills a frame, publishes it, kicks the doorbell. The kick
 	// must be handled entirely at the host (no guest hypervisor exits).
 	frame := bytes.Repeat([]byte("dvh!"), 300)
-	frameAddr := l2.AllocPages(1)
+	frameAddr := l2.MustAllocPages(1)
 	if err := gm.Write(frameAddr, frame); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestEndToEndVPNetworkPath(t *testing.T) {
 
 	// RX: driver posts a buffer; the host device scatters an inbound frame
 	// into it through the shadow translation.
-	rxBuf := l2.AllocPages(1)
+	rxBuf := l2.MustAllocPages(1)
 	if _, err := rxq.Submit([]virtio.Descriptor{{Addr: rxBuf, Len: 2048, DeviceWrite: true}}); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestEndToEndBlockPath(t *testing.T) {
 	dev := st.Blk
 	gm := l2.Memory()
 
-	base := l2.AllocPages(4)
+	base := l2.MustAllocPages(4)
 	dq, err := virtio.NewDriverQueue(gm, base, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -122,9 +122,9 @@ func TestEndToEndBlockPath(t *testing.T) {
 	desc, avail, used := dq.Rings()
 	dev.Blk.AttachQueue(0, virtio.NewQueue(dev.DMAView, 8, desc, avail, used))
 
-	hdrAddr := l2.AllocPages(1)
-	dataAddr := l2.AllocPages(1)
-	statusAddr := l2.AllocPages(1)
+	hdrAddr := l2.MustAllocPages(1)
+	dataAddr := l2.MustAllocPages(1)
+	statusAddr := l2.MustAllocPages(1)
 	payload := bytes.Repeat([]byte{0xAB}, virtio.SectorSize)
 	if err := gm.Write(hdrAddr, virtio.MakeBlkRequest(virtio.BlkTOut, 77)); err != nil {
 		t.Fatal(err)
@@ -287,20 +287,20 @@ func TestParavirtCascadeMovesBytesThroughEveryLevel(t *testing.T) {
 
 	// L2 ring with a frame.
 	gm2 := l2.Memory()
-	q2base := l2.AllocPages(4)
+	q2base := l2.MustAllocPages(4)
 	txq2, err := virtio.NewDriverQueue(gm2, q2base, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	desc, avail, used := txq2.Rings()
 	l2dev.Net.AttachQueue(virtio.NetTXQueue, virtio.NewQueue(gm2, 8, desc, avail, used))
-	frameAddr := l2.AllocPages(1)
+	frameAddr := l2.MustAllocPages(1)
 	gm2.Write(frameAddr, []byte("cascade frame"))
 	txq2.Submit([]virtio.Descriptor{{Addr: frameAddr, Len: 13}})
 
 	// L1 ring (the L1 backend re-queues into its own device).
 	gm1 := l1.Memory()
-	q1base := l1.AllocPages(4)
+	q1base := l1.MustAllocPages(4)
 	txq1, err := virtio.NewDriverQueue(gm1, q1base, 8)
 	if err != nil {
 		t.Fatal(err)

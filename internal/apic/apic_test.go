@@ -66,9 +66,42 @@ func TestAckPriorityOrder(t *testing.T) {
 		if !ok || v != w {
 			t.Fatalf("Ack = %d, want %d", v, w)
 		}
+		// While w is in service, PPR masks its own class and below; the OS
+		// completes the handler before the next lower-priority interrupt.
+		l.EOI()
 	}
 	if _, ok := l.Ack(); ok {
 		t.Fatal("Ack on empty IRR should fail")
+	}
+}
+
+func TestInServiceMasksUntilEOI(t *testing.T) {
+	// SDM Vol.3 10.8.3.1: PPR = max(TPR class, highest ISR class). With a
+	// vector in service, same-or-lower-class vectors stay held in the IRR
+	// until EOI — the regression the old TPR-only Ack allowed through.
+	l := NewLAPIC(0)
+	l.Deliver(VectorTimer)      // 236: class 14
+	l.Deliver(VectorVirtioIRQ)  // 41: class 2
+	v, ok := l.Ack()
+	if !ok || v != VectorTimer {
+		t.Fatalf("Ack = %d,%v", v, ok)
+	}
+	if l.PPR() != uint8(VectorTimer)&0xf0 {
+		t.Fatalf("PPR = %#x, want %#x", l.PPR(), uint8(VectorTimer)&0xf0)
+	}
+	if v, ok := l.Ack(); ok {
+		t.Fatalf("vector %d acked while class-14 handler in service", v)
+	}
+	// A strictly higher class preempts (nested interrupt).
+	l.Deliver(VectorReschedule) // 253: class 15
+	if v, ok := l.Ack(); !ok || v != VectorReschedule {
+		t.Fatalf("preempting Ack = %d,%v", v, ok)
+	}
+	// Unwinding both handlers releases the low-priority vector.
+	l.EOI() // retires 253
+	l.EOI() // retires 236
+	if v, ok := l.Ack(); !ok || v != VectorVirtioIRQ {
+		t.Fatalf("post-EOI Ack = %d,%v", v, ok)
 	}
 }
 
@@ -85,6 +118,7 @@ func TestVectorBoundaries(t *testing.T) {
 		if _, ok := l.Ack(); !ok {
 			t.Fatalf("only acked %d of 8 boundary vectors", i)
 		}
+		l.EOI() // retire the handler so PPR unmasks the next class down
 	}
 }
 
@@ -213,6 +247,7 @@ func TestTPRMasksLowPriorityVectors(t *testing.T) {
 	if !ok || v != VectorReschedule {
 		t.Fatalf("Ack = %d,%v", v, ok)
 	}
+	l.EOI() // retire the class-15 handler so only TPR masks remain
 	// Dropping TPR releases the held vector.
 	l.SetTPR(0)
 	if l.TPR() != 0 {
@@ -221,5 +256,27 @@ func TestTPRMasksLowPriorityVectors(t *testing.T) {
 	v, ok = l.Ack()
 	if !ok || v != VectorVirtioIRQ {
 		t.Fatalf("released Ack = %d,%v", v, ok)
+	}
+}
+
+// Regression (found by FuzzLAPIC): delivering a vector that is currently in
+// service must coalesce, not re-latch into the IRR — the model keeps at most
+// one live instance per vector, so IRR and ISR stay disjoint.
+func TestDeliverWhileInServiceCoalesces(t *testing.T) {
+	l := NewLAPIC(0)
+	l.Deliver(48)
+	if v, ok := l.Ack(); !ok || v != 48 {
+		t.Fatalf("Ack = %d,%v", v, ok)
+	}
+	if l.Deliver(48) {
+		t.Fatal("in-service vector re-latched instead of coalescing")
+	}
+	if l.Pending(48) {
+		t.Fatal("IRR set while vector in service")
+	}
+	l.EOI()
+	// After EOI the vector is deliverable again.
+	if !l.Deliver(48) {
+		t.Fatal("vector not deliverable after EOI")
 	}
 }

@@ -91,9 +91,13 @@ func NewLAPIC(id uint32) *LAPIC {
 func (l *LAPIC) ID() uint32 { return l.id }
 
 // Deliver latches an interrupt into the IRR. It reports whether the vector
-// was newly set (re-delivering a pending vector coalesces, as on hardware).
+// was newly set: re-delivering a pending vector coalesces, as on hardware,
+// and so does delivering a vector currently in service. (Real hardware can
+// latch one further instance in the IRR during service; this model keeps at
+// most one instance live, which is what lets the invariant checker assert
+// IRR and ISR never intersect.)
 func (l *LAPIC) Deliver(v Vector) bool {
-	if l.irr.test(v) {
+	if l.irr.test(v) || l.isr.test(v) {
 		return false
 	}
 	l.irr.set(v)
@@ -107,19 +111,33 @@ func (l *LAPIC) HasPending() bool { return !l.irr.empty() }
 func (l *LAPIC) Pending(v Vector) bool { return l.irr.test(v) }
 
 // Ack moves the highest-priority pending interrupt to in-service and returns
-// it; ok is false when nothing is pending or every pending vector is masked
-// by the task priority register.
+// it; ok is false when nothing is pending or the highest pending vector's
+// priority class does not exceed the processor priority — the maximum of the
+// TPR's class and the class of the highest vector still in service (SDM
+// Vol. 3 §10.8.3.1). Masking against the TPR alone would let a low-priority
+// interrupt preempt a higher-priority handler that has not yet issued EOI.
 func (l *LAPIC) Ack() (Vector, bool) {
 	v, ok := l.irr.highest()
 	if !ok {
 		return 0, false
 	}
-	if uint8(v)>>4 <= l.tpr>>4 {
+	if uint8(v)>>4 <= l.PPR()>>4 {
 		return 0, false
 	}
 	l.irr.clear(v)
 	l.isr.set(v)
 	return v, true
+}
+
+// PPR computes the processor priority register: the higher of the TPR and
+// the priority class of the highest in-service vector (low nibble zero, as
+// on hardware).
+func (l *LAPIC) PPR() uint8 {
+	ppr := l.tpr & 0xf0
+	if v, ok := l.isr.highest(); ok && uint8(v)&0xf0 > ppr {
+		ppr = uint8(v) & 0xf0
+	}
+	return ppr
 }
 
 // SetTPR programs the task priority register.
@@ -137,6 +155,13 @@ func (l *LAPIC) EOI() {
 
 // InService reports whether a vector is being serviced.
 func (l *LAPIC) InService(v Vector) bool { return l.isr.test(v) }
+
+// IRRSnapshot returns a copy of the 256-bit interrupt request register, for
+// inspection (the invariant checker asserts IRR and ISR never intersect).
+func (l *LAPIC) IRRSnapshot() [4]uint64 { return [4]uint64(l.irr) }
+
+// ISRSnapshot returns a copy of the 256-bit in-service register.
+func (l *LAPIC) ISRSnapshot() [4]uint64 { return [4]uint64(l.isr) }
 
 // SetTSCDeadline arms (or, with zero, disarms) the TSC-deadline timer. On a
 // VM this is the WRMSR that causes the ProgramTimer exit.

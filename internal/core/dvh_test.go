@@ -279,7 +279,7 @@ func TestVPDataPathMovesBytesThroughShadow(t *testing.T) {
 	vp, _ := d.VPStateOf(dev)
 
 	gm := l2.Memory()
-	ringBase := l2.AllocPages(4)
+	ringBase := l2.MustAllocPages(4)
 	dq, err := newDriverQueue(gm, ringBase, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -287,7 +287,7 @@ func TestVPDataPathMovesBytesThroughShadow(t *testing.T) {
 	desc, avail, used := dq.Rings()
 	dev.Net.AttachQueue(1, newQueue(dev.DMAView, 8, desc, avail, used))
 
-	frameAddr := l2.AllocPages(1)
+	frameAddr := l2.MustAllocPages(1)
 	payload := []byte("nested frame via DVH virtual-passthrough")
 	if err := gm.Write(frameAddr, payload); err != nil {
 		t.Fatal(err)
@@ -308,7 +308,7 @@ func TestVPDataPathMovesBytesThroughShadow(t *testing.T) {
 		t.Fatal("L1 vIOMMU domain not programmed")
 	}
 	// DMA reads do not dirty; device writes do. Exercise RX:
-	rxBase := l2.AllocPages(1)
+	rxBase := l2.MustAllocPages(1)
 	if _, err := dq.Submit(nil); err == nil {
 		t.Fatal("empty submit should fail")
 	}
@@ -327,7 +327,7 @@ func TestVPDMAWritesInvisibleToGuestDirtyLog(t *testing.T) {
 	}
 	vp, _ := d.VPStateOf(dev)
 	l2.StartDirtyLog()
-	buf := l2.AllocPages(1)
+	buf := l2.MustAllocPages(1)
 	if err := dev.DMAView.Write(buf, []byte("dma payload")); err != nil {
 		t.Fatal(err)
 	}

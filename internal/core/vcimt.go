@@ -43,7 +43,10 @@ func (d *DVH) buildVCIMT(vm *hyper.VM) (*VCIMT, error) {
 	t := &VCIMT{VM: vm, holder: holder.VM, dvh: d}
 	bytes := len(vm.VCPUs) * 8
 	pages := (bytes + mem.PageSize - 1) / mem.PageSize
-	t.Base = t.holder.AllocPages(pages)
+	t.Base, err = t.holder.AllocPages(pages)
+	if err != nil {
+		return nil, err
+	}
 
 	gm := t.holder.Memory()
 	for i, v := range vm.VCPUs {

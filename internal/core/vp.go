@@ -88,9 +88,17 @@ func (d *DVH) attachVP(vm *hyper.VM, name string, class hyper.DeviceClass) (*hyp
 	}
 	switch class {
 	case hyper.DevNet:
-		dev.Net = virtio.NewNetDevice(name, doorbell)
+		nd, err := virtio.NewNetDevice(name, doorbell)
+		if err != nil {
+			return nil, err
+		}
+		dev.Net = nd
 	case hyper.DevBlk:
-		dev.Blk = virtio.NewBlkDevice(name, doorbell, d.World.Host.Machine.SSD.Backing)
+		bd, err := virtio.NewBlkDevice(name, doorbell, d.World.Host.Machine.SSD.Backing)
+		if err != nil {
+			return nil, err
+		}
+		dev.Blk = bd
 	}
 	fn := deviceFunction(dev)
 	// The guest hypervisors' passthrough dance: the device is unbound from
@@ -141,7 +149,11 @@ func (d *DVH) attachVP(vm *hyper.VM, name string, class hyper.DeviceClass) (*hyp
 	msix.SetEnabled(true)
 
 	dev.DMAView = &vpDMA{vp: vp}
-	vp.MigCap = pci.AddMigrationCap(fn, &vpMigOps{vp: vp})
+	migCap, err := pci.AddMigrationCap(fn, &vpMigOps{vp: vp})
+	if err != nil {
+		return nil, err
+	}
+	vp.MigCap = migCap
 	vm.Devices = append(vm.Devices, dev)
 	d.vp[dev] = vp
 	return dev, nil

@@ -29,7 +29,7 @@ func BenchmarkGuestMemoryWrite(b *testing.B) {
 	_, vms := testStack(b, 2)
 	gm := vms[1].Memory()
 	buf := make([]byte, 4096)
-	addr := vms[1].AllocPages(256)
+	addr := vms[1].MustAllocPages(256)
 	b.SetBytes(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -91,7 +91,10 @@ func (vm *VM) FindDevice(c DeviceClass) *AssignedDevice {
 // builds the cascade: the provider's own net device becomes the lower link.
 func AttachParavirtNet(vm *VM, name string) (*AssignedDevice, error) {
 	doorbell := vm.AllocMMIO(mem.PageSize)
-	nd := virtio.NewNetDevice(name, doorbell)
+	nd, err := virtio.NewNetDevice(name, doorbell)
+	if err != nil {
+		return nil, err
+	}
 	vm.Bus.AutoAdd(nd.Fn)
 	if err := nd.Fn.Bind("virtio-net"); err != nil {
 		return nil, err
@@ -132,14 +135,12 @@ func AttachParavirtNet(vm *VM, name string) (*AssignedDevice, error) {
 // hypervisor, cascading like AttachParavirtNet for nested VMs.
 func AttachParavirtBlk(vm *VM, name string) (*AssignedDevice, error) {
 	doorbell := vm.AllocMMIO(mem.PageSize)
-	var bd *virtio.BlkDevice
-	if vm.Owner.Level == 0 {
-		bd = virtio.NewBlkDevice(name, doorbell, vm.Owner.Machine.SSD.Backing)
-	} else {
-		// A nested blk device ultimately stores into the same SSD through
-		// the cascade; the device model writes the backing store directly
-		// while the cost path charges each interposed level.
-		bd = virtio.NewBlkDevice(name, doorbell, vm.Owner.Machine.SSD.Backing)
+	// A nested blk device ultimately stores into the same SSD through the
+	// cascade; the device model writes the backing store directly while the
+	// cost path charges each interposed level.
+	bd, err := virtio.NewBlkDevice(name, doorbell, vm.Owner.Machine.SSD.Backing)
+	if err != nil {
+		return nil, err
 	}
 	vm.Bus.AutoAdd(bd.Fn)
 	if err := bd.Fn.Bind("virtio-blk"); err != nil {

@@ -1,0 +1,70 @@
+package hyper
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Regression: guest writes must set the EPT dirty bit at every nesting level,
+// exactly as hardware A/D-bit tracking would. The translate path used to walk
+// with access 0, so a hypervisor scanning its EPT saw a clean table no matter
+// how much the guest wrote.
+func TestEPTDirtyBitsTrackWrites(t *testing.T) {
+	_, vms := testStack(t, 3)
+	l1, l3 := vms[0], vms[2]
+	addr := l3.MustAllocPages(2)
+	if err := l3.Memory().Write(addr, make([]byte, 2*mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range []*VM{vms[0], vms[1], vms[2]} {
+		dirty := map[mem.PFN]bool{}
+		vm.EPT.ForEachEntry(func(e mem.Entry) {
+			if e.Dirty {
+				dirty[e.From] = true
+			}
+		})
+		for _, p := range vm.WrittenPages() {
+			if !dirty[p] {
+				t.Errorf("%s: written frame %#x has clean EPT dirty bit", vm.Name, uint64(p))
+			}
+		}
+		for p := range dirty {
+			if !vm.Written(p) {
+				t.Errorf("%s: EPT-dirty frame %#x never marked written", vm.Name, uint64(p))
+			}
+		}
+	}
+	// Reads alone must not dirty anything.
+	roAddr := l1.MustAllocPages(1)
+	if err := l1.Memory().Read(roAddr, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	l1.EPT.ForEachEntry(func(e mem.Entry) {
+		if e.From == mem.PageOf(roAddr) {
+			if e.Dirty {
+				t.Error("read-only access set the EPT dirty bit")
+			}
+			if !e.Accessed {
+				t.Error("read did not set the EPT accessed bit")
+			}
+		}
+	})
+}
+
+func TestAllocPagesExhaustionIsError(t *testing.T) {
+	_, vms := testStack(t, 1)
+	l1 := vms[0]
+	if _, err := l1.AllocPages(int(l1.NumPages)); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if _, err := l1.AllocPages(-1); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+	// A failed allocation must not consume address space.
+	a1 := l1.MustAllocPages(1)
+	a2 := l1.MustAllocPages(1)
+	if a2 != a1+mem.PageSize {
+		t.Fatalf("allocator skipped space after failure: %#x then %#x", uint64(a1), uint64(a2))
+	}
+}

@@ -355,7 +355,7 @@ func TestGuestMemoryReadWriteThroughChain(t *testing.T) {
 	l2 := vms[1]
 	gm := l2.Memory()
 	data := []byte("bytes through two EPT levels")
-	addr := l2.AllocPages(1)
+	addr := l2.MustAllocPages(1)
 	if err := gm.Write(addr, data); err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestDirtyTrackingPropagatesDown(t *testing.T) {
 	l1, l2 := vms[0], vms[1]
 	l1.StartDirtyLog()
 	l2.StartDirtyLog()
-	addr := l2.AllocPages(1)
+	addr := l2.MustAllocPages(1)
 	if err := l2.Memory().Write(addr, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
@@ -402,7 +402,7 @@ func TestDirtyTrackingPropagatesDown(t *testing.T) {
 func TestGuestMemoryU64(t *testing.T) {
 	_, vms := testStack(t, 1)
 	gm := vms[0].Memory()
-	addr := vms[0].AllocPages(1)
+	addr := vms[0].MustAllocPages(1)
 	if err := gm.WriteU64(addr, 0xfeedface12345678); err != nil {
 		t.Fatal(err)
 	}

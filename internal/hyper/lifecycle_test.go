@@ -72,7 +72,7 @@ func TestDestroyVM(t *testing.T) {
 		t.Fatal("destroy of a VM hosting nested VMs accepted")
 	}
 	gm := l2.Memory()
-	if err := gm.Write(l2.AllocPages(1), []byte("data")); err != nil {
+	if err := gm.Write(l2.MustAllocPages(1), []byte("data")); err != nil {
 		t.Fatal(err)
 	}
 	if l2.ResidentPages() == 0 {

@@ -257,14 +257,28 @@ func (vm *VM) ProvideVIOMMU(posted bool) *iommu.IOMMU {
 }
 
 // AllocPages reserves n guest pages for drivers and workloads, returning the
-// base address.
-func (vm *VM) AllocPages(n int) mem.Addr {
+// base address. Exhaustion is an error, not a panic: how much a driver or
+// workload asks for is caller input, not an internal invariant.
+func (vm *VM) AllocPages(n int) (mem.Addr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hyper: VM %s negative page allocation %d", vm.Name, n)
+	}
+	if vm.allocNext+mem.PFN(n) > vm.NumPages {
+		return 0, fmt.Errorf("hyper: VM %s guest allocator exhausted: %d pages requested, %d free",
+			vm.Name, n, uint64(vm.NumPages-vm.allocNext))
+	}
 	base := vm.allocNext
 	vm.allocNext += mem.PFN(n)
-	if vm.allocNext > vm.NumPages {
-		panic(fmt.Sprintf("hyper: VM %s guest allocator exhausted", vm.Name))
+	return base.Base(), nil
+}
+
+// MustAllocPages is AllocPages for callers with statically known-good sizes.
+func (vm *VM) MustAllocPages(n int) mem.Addr {
+	base, err := vm.AllocPages(n)
+	if err != nil {
+		panic(err)
 	}
-	return base.Base()
+	return base
 }
 
 // AllocMMIO reserves a doorbell window in guest physical space, outside RAM.
@@ -277,21 +291,34 @@ func (vm *VM) AllocMMIO(size int) mem.Addr {
 // EnsureMapped installs the EPT translation for a guest frame (identity plus
 // the VM's carve base), the lazy fault-in a hypervisor performs.
 func (vm *VM) EnsureMapped(p mem.PFN) (mem.PFN, error) {
+	return vm.ensureMapped(p, 0)
+}
+
+// ensureMapped is EnsureMapped carrying the access kind, so the EPT's
+// hardware A/D bits track the access like a real walk would.
+func (vm *VM) ensureMapped(p mem.PFN, access mem.Perm) (mem.PFN, error) {
 	if p >= vm.NumPages {
 		return 0, fmt.Errorf("hyper: VM %s access beyond RAM: frame %#x", vm.Name, uint64(p))
 	}
-	if w := vm.EPT.Lookup(p, 0); w.Present {
+	if w := vm.EPT.Lookup(p, access); w.Present {
 		return w.PFN, nil
 	}
 	target := vm.parentBase + p
 	vm.EPT.Map(p, target, mem.PermRWX)
+	if access != 0 {
+		vm.EPT.Lookup(p, access) // stamp A/D on the fresh mapping
+	}
 	return target, nil
 }
 
 // TranslateToHost resolves a guest-physical address down the whole nesting
 // chain to a machine physical address, faulting mappings in along the way.
 func (vm *VM) TranslateToHost(a mem.Addr) (mem.Addr, error) {
-	pf, err := vm.EnsureMapped(mem.PageOf(a))
+	return vm.translateToHost(a, mem.PermRead)
+}
+
+func (vm *VM) translateToHost(a mem.Addr, access mem.Perm) (mem.Addr, error) {
+	pf, err := vm.ensureMapped(mem.PageOf(a), access)
 	if err != nil {
 		return 0, err
 	}
@@ -299,7 +326,7 @@ func (vm *VM) TranslateToHost(a mem.Addr) (mem.Addr, error) {
 	if vm.Owner.HostVM == nil {
 		return parentAddr, nil
 	}
-	return vm.Owner.HostVM.TranslateToHost(parentAddr)
+	return vm.Owner.HostVM.translateToHost(parentAddr, access)
 }
 
 // Memory returns a byte-addressable view of the VM's guest-physical memory,
@@ -327,12 +354,26 @@ func (vm *VM) CollectDirty() []mem.PFN {
 	return out
 }
 
+// PeekDirty returns the currently logged dirty frames without draining the
+// log (CollectDirty drains; an invariant sweep must not perturb state).
+func (vm *VM) PeekDirty() []mem.PFN {
+	if vm.dirty == nil {
+		return nil
+	}
+	var out []mem.PFN
+	vm.dirty.ForEach(func(i uint64) { out = append(out, mem.PFN(i)) })
+	return out
+}
+
 // WrittenPages returns every guest frame ever written.
 func (vm *VM) WrittenPages() []mem.PFN {
 	var out []mem.PFN
 	vm.written.ForEach(func(i uint64) { out = append(out, mem.PFN(i)) })
 	return out
 }
+
+// Written reports whether a guest frame has ever been written.
+func (vm *VM) Written(p mem.PFN) bool { return vm.written.Test(uint64(p)) }
 
 // markWrite records a write for dirty tracking at this level and recurses to
 // the levels below (an L2 write dirties the containing L1 pages too).
@@ -355,28 +396,29 @@ type GuestMemory struct {
 
 // Read copies bytes out of guest memory.
 func (g *GuestMemory) Read(a mem.Addr, buf []byte) error {
-	return g.chunked(a, len(buf), func(host mem.Addr, off, n int) error {
+	return g.chunked(a, len(buf), mem.PermRead, func(host mem.Addr, off, n int) error {
 		return g.vm.Owner.Machine.Memory.Read(host, buf[off:off+n])
 	})
 }
 
 // Write copies bytes into guest memory, marking dirty pages at every level.
 func (g *GuestMemory) Write(a mem.Addr, buf []byte) error {
-	return g.chunked(a, len(buf), func(host mem.Addr, off, n int) error {
+	return g.chunked(a, len(buf), mem.PermWrite, func(host mem.Addr, off, n int) error {
 		g.vm.markWrite(mem.PageOf(a + mem.Addr(off)))
 		return g.vm.Owner.Machine.Memory.Write(host, buf[off:off+n])
 	})
 }
 
-// chunked walks [a, a+n) page by page, translating each piece.
-func (g *GuestMemory) chunked(a mem.Addr, n int, fn func(host mem.Addr, off, n int) error) error {
+// chunked walks [a, a+n) page by page, translating each piece with the access
+// kind so EPT A/D bits at every level record it.
+func (g *GuestMemory) chunked(a mem.Addr, n int, access mem.Perm, fn func(host mem.Addr, off, n int) error) error {
 	off := 0
 	for n > 0 {
 		step := mem.PageSize - int(a&(mem.PageSize-1))
 		if step > n {
 			step = n
 		}
-		host, err := g.vm.TranslateToHost(a)
+		host, err := g.vm.translateToHost(a, access)
 		if err != nil {
 			return err
 		}

@@ -35,6 +35,9 @@ type World struct {
 	// Tracer, when non-nil, records every hardware exit for timeline
 	// inspection (cmd/nvtrace). A nil recorder costs nothing.
 	Tracer *trace.Recorder
+	// Check, when non-nil, observes every boundary entry/exit for invariant
+	// validation (internal/check). A nil checker costs one branch.
+	Check InvariantChecker
 }
 
 // NewWorld wraps a host hypervisor with the default cost model.
@@ -96,6 +99,16 @@ func (w *World) stack(v *VCPU) ([]*Hypervisor, error) {
 // transitions) are applied along the way. Execute is the simulator's
 // equivalent of "the guest executed a trapping instruction".
 func (w *World) Execute(v *VCPU, op Op) (sim.Cycles, error) {
+	if w.Check == nil {
+		return w.execute(v, op)
+	}
+	tok := w.Check.Begin(w, v, BoundaryExecute, op)
+	cost, err := w.execute(v, op)
+	w.Check.End(tok, w, v, BoundaryExecute, op, cost, err)
+	return cost, err
+}
+
+func (w *World) execute(v *VCPU, op Op) (sim.Cycles, error) {
 	stats := w.Host.Machine.Stats
 	c := &w.Costs
 
@@ -566,6 +579,16 @@ func (w *World) armHostTimer(v *VCPU, deadline uint64) {
 // otherwise the guest hypervisor emulating the timer must run its injection
 // path first.
 func (w *World) DeliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
+	if w.Check == nil {
+		return w.deliverTimerIRQ(v)
+	}
+	tok := w.Check.Begin(w, v, BoundaryTimerIRQ, Op{})
+	cost, err := w.deliverTimerIRQ(v)
+	w.Check.End(tok, w, v, BoundaryTimerIRQ, Op{}, cost, err)
+	return cost, err
+}
+
+func (w *World) deliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
 	c := &w.Costs
 	stats := w.Host.Machine.Stats
 	v.PID.Post(v.LAPIC.TimerVector())
@@ -604,6 +627,16 @@ func (w *World) DeliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
 // idle penalty of nested virtualization is paid on the way *into* idle (the
 // forwarded HLT exit), which is exactly what DVH virtual idle removes.
 func (w *World) WakeIfIdle(dest *VCPU) (sim.Cycles, error) {
+	if w.Check == nil {
+		return w.wakeIfIdle(dest)
+	}
+	tok := w.Check.Begin(w, dest, BoundaryWake, Op{})
+	cost, err := w.wakeIfIdle(dest)
+	w.Check.End(tok, w, dest, BoundaryWake, Op{}, cost, err)
+	return cost, err
+}
+
+func (w *World) wakeIfIdle(dest *VCPU) (sim.Cycles, error) {
 	if !dest.Idle {
 		return 0, nil
 	}
@@ -627,6 +660,16 @@ func (w *World) WakeIfIdle(dest *VCPU) (sim.Cycles, error) {
 // deliver without an exit; otherwise the interrupt must be injected by the
 // hypervisor level that interposes on it.
 func (w *World) DeliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	if w.Check == nil {
+		return w.deliverDeviceIRQ(dev, target)
+	}
+	tok := w.Check.Begin(w, target, BoundaryDeviceIRQ, Op{})
+	cost, err := w.deliverDeviceIRQ(dev, target)
+	w.Check.End(tok, w, target, BoundaryDeviceIRQ, Op{}, cost, err)
+	return cost, err
+}
+
+func (w *World) deliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
 	c := &w.Costs
 	stats := w.Host.Machine.Stats
 	target.LAPIC.Deliver(dev.IRQ)
@@ -682,6 +725,16 @@ func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int,
 // to the target vCPU. For passthrough the data lands in VM memory directly;
 // for virtual-passthrough only the host backend runs.
 func (w *World) DeviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	if w.Check == nil {
+		return w.deviceRX(dev, target)
+	}
+	tok := w.Check.Begin(w, target, BoundaryDeviceRX, Op{})
+	cost, err := w.deviceRX(dev, target)
+	w.Check.End(tok, w, target, BoundaryDeviceRX, Op{}, cost, err)
+	return cost, err
+}
+
+func (w *World) deviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
 	c := &w.Costs
 	stats := w.Host.Machine.Stats
 	var cost sim.Cycles
@@ -713,5 +766,12 @@ func (w *World) DeviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) 
 }
 
 // ArmVirtualTimer schedules the host hrtimer backing a DVH virtual timer for
-// a nested vCPU; firing and wake behavior match the host's own timers.
-func (w *World) ArmVirtualTimer(v *VCPU, deadline uint64) { w.armHostTimer(v, deadline) }
+// a nested vCPU; firing and wake behavior match the host's own timers. The
+// deadline is in host TSC units — the guest deadline plus the combined
+// TSC-offset chain.
+func (w *World) ArmVirtualTimer(v *VCPU, deadline uint64) {
+	if w.Check != nil {
+		w.Check.TimerArmed(w, v, deadline)
+	}
+	w.armHostTimer(v, deadline)
+}

@@ -142,7 +142,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.NIC = &NIC{Fn: nicFn, LineRateBitsPerSec: 10_000_000_000}
 	if cfg.Caps.Has(vmx.CapSRIOV) && cfg.NICVFs > 0 {
-		pci.EnableSRIOV(nicFn, uint16(cfg.NICVFs))
+		if err := pci.EnableSRIOV(nicFn, uint16(cfg.NICVFs)); err != nil {
+			return nil, err
+		}
 	}
 
 	// SATA SSD (Intel DC S3500 480GB).

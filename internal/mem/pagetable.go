@@ -246,6 +246,42 @@ func (t *PageTable) ForEach(fn func(from, to PFN, perms Perm)) {
 	walk(t.root, 0, 0)
 }
 
+// Entry describes one installed translation with its A/D tracking state.
+type Entry struct {
+	From, To PFN
+	Perms    Perm
+	Accessed bool
+	Dirty    bool
+	Huge     bool
+}
+
+// ForEachEntry visits every installed translation in ascending frame order,
+// exposing the hardware A/D bits Lookup maintains — the view a hypervisor's
+// dirty-page scanner has of an EPT.
+func (t *PageTable) ForEachEntry(fn func(Entry)) {
+	var walk func(n *ptNode, prefix PFN, level int)
+	walk = func(n *ptNode, prefix PFN, level int) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !e.present && e.next == nil {
+				continue
+			}
+			p := prefix<<9 | PFN(i)
+			switch {
+			case level == ptLevels-1:
+				if e.present {
+					fn(Entry{From: p, To: e.pfn, Perms: e.perms, Accessed: e.accessed, Dirty: e.dirty})
+				}
+			case level == ptLevels-2 && e.present && e.huge:
+				fn(Entry{From: p << 9, To: e.pfn, Perms: e.perms, Accessed: e.accessed, Dirty: e.dirty, Huge: true})
+			case e.next != nil:
+				walk(e.next, p, level+1)
+			}
+		}
+	}
+	walk(t.root, 0, 0)
+}
+
 // Combine produces a new table composing t with next: for every mapping
 // a→b in t with a mapping b→c in next, the result maps a→c with the
 // intersection of permissions. This is exactly the shadow-table construction

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/hyper"
@@ -70,7 +71,10 @@ func Snapshot(vm *hyper.VM, d *core.DVH) ([]byte, error) {
 func RestoreSnapshot(vm *hyper.VM, d *core.DVH, blob []byte) error {
 	r := bytes.NewReader(blob)
 	var magic [8]byte
-	if _, err := r.Read(magic[:]); err != nil || magic != snapshotMagic {
+	// io.ReadFull throughout: bytes.Reader.Read accepts short reads at EOF
+	// with a nil error, which would silently restore a partial page from a
+	// truncated snapshot.
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != snapshotMagic {
 		return fmt.Errorf("migrate: not a snapshot (bad magic)")
 	}
 	var srcPages, count uint64
@@ -90,7 +94,7 @@ func RestoreSnapshot(vm *hyper.VM, d *core.DVH, blob []byte) error {
 		if err := binary.Read(r, binary.LittleEndian, &pfn); err != nil {
 			return fmt.Errorf("migrate: truncated snapshot at page %d: %w", i, err)
 		}
-		if _, err := r.Read(page); err != nil {
+		if _, err := io.ReadFull(r, page); err != nil {
 			return fmt.Errorf("migrate: truncated snapshot content at page %d: %w", i, err)
 		}
 		if err := gm.Write(mem.PFN(pfn).Base(), page); err != nil {
@@ -102,8 +106,11 @@ func RestoreSnapshot(vm *hyper.VM, d *core.DVH, blob []byte) error {
 		return err
 	}
 	if dvhLen > 0 {
+		if int(dvhLen) > r.Len() {
+			return fmt.Errorf("migrate: DVH state length %d exceeds remaining %d bytes", dvhLen, r.Len())
+		}
 		state := make([]byte, dvhLen)
-		if _, err := r.Read(state); err != nil {
+		if _, err := io.ReadFull(r, state); err != nil {
 			return fmt.Errorf("migrate: truncated DVH state: %w", err)
 		}
 		if d == nil {

@@ -12,7 +12,7 @@ import (
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	r := buildRig(t, 0)
 	gm := r.l2.Memory()
-	addr := r.l2.AllocPages(3)
+	addr := r.l2.MustAllocPages(3)
 	payload := bytes.Repeat([]byte("suspend/resume"), 600)
 	if err := gm.Write(addr, payload); err != nil {
 		t.Fatal(err)

@@ -141,7 +141,10 @@ func (c *ConfigSpace) ClearCommand(bits uint16) {
 	c.WriteU16(offCommand, c.Command()&^bits)
 }
 
-// SetBAR programs base address register i (0..5) with a memory address.
+// SetBAR programs base address register i (0..5) with a memory address. The
+// index is a compile-time property of every device model (BAR numbers are
+// part of a device's programming interface, never data-driven), so an
+// out-of-range index is a true invariant violation and panics.
 func (c *ConfigSpace) SetBAR(i int, addr uint32) {
 	if i < 0 || i > 5 {
 		panic("pci: BAR index out of range")
@@ -149,7 +152,8 @@ func (c *ConfigSpace) SetBAR(i int, addr uint32) {
 	c.WriteU32(offBAR0+4*i, addr)
 }
 
-// BAR reads base address register i.
+// BAR reads base address register i. Like SetBAR, an out-of-range index is a
+// programming error, not a reachable configuration, and panics.
 func (c *ConfigSpace) BAR(i int) uint32 {
 	if i < 0 || i > 5 {
 		panic("pci: BAR index out of range")
@@ -158,11 +162,17 @@ func (c *ConfigSpace) BAR(i int) uint32 {
 }
 
 // AddCapability appends a capability of the given body size (excluding the
-// 2-byte header) to the chain and returns the offset of its header.
-func (c *ConfigSpace) AddCapability(id CapID, bodySize int) int {
+// 2-byte header) to the chain and returns the offset of its header. The
+// 256-byte space holds a bounded number of capabilities, so exhaustion is
+// reachable from configuration choices (many devices on one function, fuzzed
+// capability lists) and reports an error rather than crashing.
+func (c *ConfigSpace) AddCapability(id CapID, bodySize int) (int, error) {
+	if bodySize < 0 {
+		return 0, fmt.Errorf("pci: negative capability body size %d", bodySize)
+	}
 	size := 2 + bodySize
 	if c.nextCap+size > len(c.bytes) {
-		panic("pci: config space capability overflow")
+		return 0, fmt.Errorf("pci: config space exhausted adding %v (%d bytes at %#x)", id, size, c.nextCap)
 	}
 	off := c.nextCap
 	c.nextCap += (size + 3) &^ 3 // keep capabilities dword aligned
@@ -179,7 +189,7 @@ func (c *ConfigSpace) AddCapability(id CapID, bodySize int) int {
 		c.bytes[p+1] = byte(off)
 	}
 	c.WriteU16(offStatus, c.ReadU16(offStatus)|statusCapList)
-	return off
+	return off, nil
 }
 
 // FindCapability walks the chain for a capability, returning its header

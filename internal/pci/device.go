@@ -145,9 +145,13 @@ const (
 
 // EnableSRIOV adds the SR-IOV capability to a physical function, advertising
 // totalVFs virtual functions.
-func EnableSRIOV(pf *Function, totalVFs uint16) {
-	off := pf.Config.AddCapability(CapSRIOV, 8)
+func EnableSRIOV(pf *Function, totalVFs uint16) error {
+	off, err := pf.Config.AddCapability(CapSRIOV, 8)
+	if err != nil {
+		return err
+	}
 	pf.Config.WriteU16(off+sriovOffTotalVFs, totalVFs)
+	return nil
 }
 
 // CreateVFs instantiates n SR-IOV virtual functions of pf on the bus,

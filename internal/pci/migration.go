@@ -58,9 +58,12 @@ type MigrationCap struct {
 
 // AddMigrationCap installs the migration capability on a virtual function
 // and returns the control handle the host keeps.
-func AddMigrationCap(fn *Function, ops MigrationOps) *MigrationCap {
-	off := fn.Config.AddCapability(CapMigration, 12)
-	return &MigrationCap{fn: fn, off: off, ops: ops}
+func AddMigrationCap(fn *Function, ops MigrationOps) (*MigrationCap, error) {
+	off, err := fn.Config.AddCapability(CapMigration, 12)
+	if err != nil {
+		return nil, err
+	}
+	return &MigrationCap{fn: fn, off: off, ops: ops}, nil
 }
 
 // FindMigrationCap reports whether a function advertises the capability —

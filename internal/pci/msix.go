@@ -33,15 +33,20 @@ type MSIXTable struct {
 const msixOffTableSize = 2
 
 // AddMSIX installs an MSI-X capability advertising n vectors and returns
-// the table.
-func AddMSIX(fn *Function, n int) *MSIXTable {
+// the table. The vector count is configuration-driven (it follows a device's
+// queue count), so out-of-spec sizes and capability-chain exhaustion are
+// reported as errors.
+func AddMSIX(fn *Function, n int) (*MSIXTable, error) {
 	if n <= 0 || n > 2048 {
-		panic(fmt.Sprintf("pci: MSI-X table size %d out of spec", n))
+		return nil, fmt.Errorf("pci: MSI-X table size %d out of spec", n)
 	}
-	off := fn.Config.AddCapability(CapMSIX, 10)
+	off, err := fn.Config.AddCapability(CapMSIX, 10)
+	if err != nil {
+		return nil, err
+	}
 	// Table size field holds N-1 per the spec.
 	fn.Config.WriteU16(off+msixOffTableSize, uint16(n-1))
-	return &MSIXTable{fn: fn, entries: make([]MSIXEntry, n), capOff: off}
+	return &MSIXTable{fn: fn, entries: make([]MSIXEntry, n), capOff: off}, nil
 }
 
 // Size returns the number of vectors.

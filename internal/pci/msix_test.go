@@ -6,12 +6,21 @@ func msixFn() *Function {
 	return NewFunction("virtio-net", Address{0, 5, 0}, 0x1af4, 0x1000, 0x020000)
 }
 
+func mustMSIX(t *testing.T, fn *Function, n int) *MSIXTable {
+	t.Helper()
+	tbl, err := AddMSIX(fn, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
 func TestMSIXDiscovery(t *testing.T) {
 	fn := msixFn()
 	if _, ok := FindMSIXSize(fn); ok {
 		t.Fatal("MSI-X discovered before install")
 	}
-	tbl := AddMSIX(fn, 3)
+	tbl := mustMSIX(t, fn, 3)
 	if tbl.Size() != 3 {
 		t.Fatalf("Size = %d", tbl.Size())
 	}
@@ -25,7 +34,7 @@ func TestMSIXDiscovery(t *testing.T) {
 }
 
 func TestMSIXProgramAndDeliver(t *testing.T) {
-	tbl := AddMSIX(msixFn(), 2)
+	tbl := mustMSIX(t, msixFn(), 2)
 	if err := tbl.SetEntry(0, 0xfee00000, 41); err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +54,7 @@ func TestMSIXProgramAndDeliver(t *testing.T) {
 }
 
 func TestMSIXMaskPending(t *testing.T) {
-	tbl := AddMSIX(msixFn(), 1)
+	tbl := mustMSIX(t, msixFn(), 1)
 	tbl.SetEnabled(true)
 	tbl.SetEntry(0, 1, 2)
 	if _, err := tbl.Mask(0, true); err != nil {
@@ -72,7 +81,7 @@ func TestMSIXMaskPending(t *testing.T) {
 }
 
 func TestMSIXBounds(t *testing.T) {
-	tbl := AddMSIX(msixFn(), 2)
+	tbl := mustMSIX(t, msixFn(), 2)
 	if err := tbl.SetEntry(2, 0, 0); err == nil {
 		t.Fatal("out-of-range SetEntry accepted")
 	}
@@ -82,10 +91,10 @@ func TestMSIXBounds(t *testing.T) {
 	if _, _, _, err := tbl.Deliver(99); err == nil {
 		t.Fatal("out-of-range Deliver accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("absurd table size should panic")
-		}
-	}()
-	AddMSIX(msixFn(), 0)
+	if _, err := AddMSIX(msixFn(), 0); err == nil {
+		t.Fatal("zero table size accepted")
+	}
+	if _, err := AddMSIX(msixFn(), 2049); err == nil {
+		t.Fatal("oversized table accepted")
+	}
 }

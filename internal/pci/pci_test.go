@@ -64,9 +64,11 @@ func TestCapabilityChain(t *testing.T) {
 	if c.Capabilities() != nil {
 		t.Fatal("empty chain should list nothing")
 	}
-	c.AddCapability(CapMSI, 12)
-	c.AddCapability(CapPCIe, 20)
-	c.AddCapability(CapMigration, 12)
+	for _, cap := range []CapID{CapMSI, CapPCIe, CapMigration} {
+		if _, err := c.AddCapability(cap, capBody(cap)); err != nil {
+			t.Fatal(err)
+		}
+	}
 	caps := c.Capabilities()
 	if len(caps) != 3 || caps[0] != CapMSI || caps[1] != CapPCIe || caps[2] != CapMigration {
 		t.Fatalf("chain = %v", caps)
@@ -88,12 +90,42 @@ func TestCapabilityChainManyProperty(t *testing.T) {
 			n = 12
 		}
 		for i := 0; i < n; i++ {
-			c.AddCapability(CapID(ids[i]%0x30+1), 2)
+			if _, err := c.AddCapability(CapID(ids[i]%0x30+1), 2); err != nil {
+				return false
+			}
 		}
 		return len(c.Capabilities()) == n
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// capBody returns a plausible body size for a capability in tests.
+func capBody(id CapID) int {
+	switch id {
+	case CapPCIe:
+		return 20
+	default:
+		return 12
+	}
+}
+
+func TestCapabilityOverflowIsError(t *testing.T) {
+	c := NewConfigSpace(1, 2, 3)
+	added := 0
+	for {
+		if _, err := c.AddCapability(CapVendor, 30); err != nil {
+			break
+		}
+		added++
+		if added > 20 {
+			t.Fatal("capability chain never overflowed")
+		}
+	}
+	// The chain that was built before exhaustion must still be intact.
+	if got := len(c.Capabilities()); got != added {
+		t.Fatalf("chain holds %d capabilities, added %d", got, added)
 	}
 }
 
@@ -169,7 +201,9 @@ func TestSRIOV(t *testing.T) {
 	if _, err := CreateVFs(b, pf, 2); err == nil {
 		t.Fatal("VF creation without capability should fail")
 	}
-	EnableSRIOV(pf, 4)
+	if err := EnableSRIOV(pf, 4); err != nil {
+		t.Fatal(err)
+	}
 	vfs, err := CreateVFs(b, pf, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +244,10 @@ func TestMigrationCapability(t *testing.T) {
 	if FindMigrationCap(fn) {
 		t.Fatal("capability present before install")
 	}
-	cap := AddMigrationCap(fn, ops)
+	cap, err := AddMigrationCap(fn, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !FindMigrationCap(fn) {
 		t.Fatal("capability not discoverable")
 	}
@@ -251,7 +288,7 @@ func TestMigrationCapability(t *testing.T) {
 	}
 	// Restore on the destination.
 	var restored []byte
-	err := cap.RestoreState(cap.CapturedState(), func(b []byte) error {
+	err = cap.RestoreState(cap.CapturedState(), func(b []byte) error {
 		restored = b
 		return nil
 	})
@@ -262,7 +299,10 @@ func TestMigrationCapability(t *testing.T) {
 
 func TestMigrationCapNoOps(t *testing.T) {
 	fn := NewFunction("dev", Address{}, 1, 2, 3)
-	cap := AddMigrationCap(fn, nil)
+	cap, err := AddMigrationCap(fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := cap.GuestWriteCtrl(MigCtrlDirtyLog); err == nil {
 		t.Fatal("ctrl write without host ops should fail")
 	}

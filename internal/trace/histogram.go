@@ -9,10 +9,11 @@ import (
 	"repro/internal/sim"
 )
 
-// Histogram is a log2-bucketed latency histogram for cycle counts: bucket i
-// holds samples in [2^i, 2^(i+1)). Log spacing suits the simulator's
-// distributions, which span from ~20-cycle TLB hits to million-cycle L3
-// forwarded exits.
+// Histogram is a log2-bucketed latency histogram for cycle counts: bucket 0
+// holds samples in [0, 2) and bucket i >= 1 holds samples in [2^i, 2^(i+1)).
+// Log spacing suits the simulator's distributions, which span from ~20-cycle
+// TLB hits to million-cycle L3 forwarded exits; zero-cost samples (absorbed
+// fast paths) share the lowest bucket.
 type Histogram struct {
 	buckets [64]uint64
 	count   uint64
@@ -56,8 +57,10 @@ func (h *Histogram) Min() sim.Cycles { return h.min }
 func (h *Histogram) Max() sim.Cycles { return h.max }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1): the top
-// of the bucket containing it. Bucket resolution is a factor of two, which
-// is enough to distinguish a posted interrupt from a forwarded exit.
+// of the bucket containing it, clamped into [Min, Max] so the estimate never
+// leaves the observed range (an all-zero histogram reports 0, not the bucket
+// top). Bucket resolution is a factor of two, which is enough to distinguish
+// a posted interrupt from a forwarded exit.
 func (h *Histogram) Quantile(q float64) sim.Cycles {
 	if h.count == 0 {
 		return 0
@@ -79,6 +82,9 @@ func (h *Histogram) Quantile(q float64) sim.Cycles {
 			top := sim.Cycles(1) << uint(i+1)
 			if top > h.max {
 				top = h.max
+			}
+			if top < h.min {
+				top = h.min
 			}
 			return top
 		}
@@ -129,7 +135,11 @@ func (h *Histogram) String() string {
 		if bar == "" {
 			bar = "#"
 		}
-		fmt.Fprintf(&b, "  [%12d, %12d) %8d %s\n", uint64(1)<<uint(i), uint64(1)<<uint(i+1), n, bar)
+		lo := uint64(1) << uint(i)
+		if i == 0 {
+			lo = 0 // bucket 0 spans [0, 2): zero-cost samples land here too
+		}
+		fmt.Fprintf(&b, "  [%12d, %12d) %8d %s\n", lo, uint64(1)<<uint(i+1), n, bar)
 	}
 	return b.String()
 }

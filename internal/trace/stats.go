@@ -116,6 +116,18 @@ func (s *Stats) TotalHandledAt(level int) uint64 {
 	return t
 }
 
+// TotalHandledExits sums logical exits over every reason and handler level.
+// Because every hardware exit is handled by exactly one level, this equals
+// TotalHardwareExits on a consistent Stats — the conservation law the
+// invariant checker (internal/check) enforces.
+func (s *Stats) TotalHandledExits() uint64 {
+	var t uint64
+	for l := 0; l < MaxLevels; l++ {
+		t += s.TotalHandledAt(l)
+	}
+	return t
+}
+
 // GuestHypervisorExits sums logical exits handled by any guest hypervisor
 // (level >= 1) — the quantity DVH exists to eliminate.
 func (s *Stats) GuestHypervisorExits() uint64 {

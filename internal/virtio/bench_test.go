@@ -41,7 +41,10 @@ func BenchmarkQueueSubmitPopPush(b *testing.B) {
 
 func BenchmarkNetTransmit(b *testing.B) {
 	space := mem.NewAddressSpace("bench", 1<<24)
-	nd := NewNetDevice("bench-net", 0xfe000000)
+	nd, err0 := NewNetDevice("bench-net", 0xfe000000)
+	if err0 != nil {
+		b.Fatal(err0)
+	}
 	dq, err := NewDriverQueue(space, 0x10000, 256)
 	if err != nil {
 		b.Fatal(err)

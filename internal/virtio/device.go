@@ -33,17 +33,22 @@ type Device struct {
 }
 
 // NewDevice creates a virtio device with the given PCI identity. The
-// doorbell window is programmed into BAR0.
-func NewDevice(name string, deviceID uint16, class uint32, doorbell mem.Addr, numQueues int) *Device {
+// doorbell window is programmed into BAR0. The queue count sizes the MSI-X
+// table, so counts the PCI layer rejects surface here as errors.
+func NewDevice(name string, deviceID uint16, class uint32, doorbell mem.Addr, numQueues int) (*Device, error) {
 	fn := pci.NewFunction(name, pci.Address{}, VendorVirtio, deviceID, class)
 	fn.IsVirtual = true
 	fn.Config.SetBAR(0, uint32(doorbell))
+	msix, err := pci.AddMSIX(fn, numQueues)
+	if err != nil {
+		return nil, fmt.Errorf("virtio %s: %w", name, err)
+	}
 	return &Device{
 		Fn:           fn,
 		DoorbellBase: doorbell,
 		queues:       make([]*Queue, numQueues),
-		MSIX:         pci.AddMSIX(fn, numQueues),
-	}
+		MSIX:         msix,
+	}, nil
 }
 
 // AttachQueue wires device-side queue state for queue index qi.
@@ -102,8 +107,12 @@ type NetDevice struct {
 
 // NewNetDevice builds a virtio-net device with its doorbell window at the
 // given MMIO address.
-func NewNetDevice(name string, doorbell mem.Addr) *NetDevice {
-	return &NetDevice{Device: NewDevice(name, DeviceIDNet, ClassNetwork, doorbell, 2)}
+func NewNetDevice(name string, doorbell mem.Addr) (*NetDevice, error) {
+	d, err := NewDevice(name, DeviceIDNet, ClassNetwork, doorbell, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &NetDevice{Device: d}, nil
 }
 
 // Transmit pops every published TX chain, gathers the frames through the
@@ -181,8 +190,12 @@ type BlkDevice struct {
 }
 
 // NewBlkDevice builds a virtio-blk device over the given backing store.
-func NewBlkDevice(name string, doorbell mem.Addr, disk *mem.AddressSpace) *BlkDevice {
-	return &BlkDevice{Device: NewDevice(name, DeviceIDBlock, ClassStorage, doorbell, 1), disk: disk}
+func NewBlkDevice(name string, doorbell mem.Addr, disk *mem.AddressSpace) (*BlkDevice, error) {
+	d, err := NewDevice(name, DeviceIDBlock, ClassStorage, doorbell, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &BlkDevice{Device: d, disk: disk}, nil
 }
 
 // ProcessRequests pops and executes every published request chain,

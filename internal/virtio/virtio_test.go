@@ -174,7 +174,10 @@ func TestEmptySubmitRejected(t *testing.T) {
 }
 
 func TestDoorbellDecode(t *testing.T) {
-	d := NewDevice("net0", DeviceIDNet, ClassNetwork, 0xfe000000, 2)
+	d, err := NewDevice("net0", DeviceIDNet, ClassNetwork, 0xfe000000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if qi, ok := d.DoorbellQueue(0xfe000000); !ok || qi != 0 {
 		t.Fatalf("queue 0 doorbell decoded as %d,%v", qi, ok)
 	}
@@ -194,7 +197,10 @@ func TestDoorbellDecode(t *testing.T) {
 
 func TestNetTransmitReceive(t *testing.T) {
 	space := mem.NewAddressSpace("guest", 1<<22)
-	nd := NewNetDevice("net0", 0xfe000000)
+	nd, err := NewNetDevice("net0", 0xfe000000)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// TX side.
 	txq, err := NewDriverQueue(space, 0x10000, 8)
@@ -253,7 +259,10 @@ func TestNetTransmitReceive(t *testing.T) {
 func TestBlkReadWrite(t *testing.T) {
 	space := mem.NewAddressSpace("guest", 1<<22)
 	disk := mem.NewAddressSpace("disk", 1<<22)
-	bd := NewBlkDevice("blk0", 0xfd000000, disk)
+	bd, err := NewBlkDevice("blk0", 0xfd000000, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dq, err := NewDriverQueue(space, 0x10000, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -319,7 +328,10 @@ func TestBlkReadWrite(t *testing.T) {
 func TestBlkShortChainRejected(t *testing.T) {
 	space := mem.NewAddressSpace("guest", 1<<22)
 	disk := mem.NewAddressSpace("disk", 1<<20)
-	bd := NewBlkDevice("blk0", 0xfd000000, disk)
+	bd, err := NewBlkDevice("blk0", 0xfd000000, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dq, _ := NewDriverQueue(space, 0x10000, 8)
 	desc, avail, used := dq.Rings()
 	bd.AttachQueue(0, NewQueue(space, 8, desc, avail, used))
