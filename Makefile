@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke fuzz check clean
+.PHONY: all build vet test race bench lint fuzz-smoke fuzz check clean
 
 all: check
 
@@ -15,6 +15,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# lint runs nvlint, the simulator-aware static analyzer (see DESIGN.md §8):
+# determinism, hot-path allocation-freedom, exit-reason exhaustiveness,
+# nopanic and the Op by-value contract. VERBOSE=1 also prints the hot-path
+# call chains and every suppressed finding with its justification.
+lint:
+	$(GO) run ./cmd/nvlint $(if $(VERBOSE),-v,)
 
 # bench runs the harness and hot-path benchmarks: Figure 7 sequential vs
 # parallel pool, and the allocation-free nested Execute path.
@@ -34,11 +41,12 @@ fuzz-smoke fuzz:
 		$(GO) test ./internal/check/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
-# check is the full gate: everything must build, vet clean, pass the test
-# suite under the race detector (the parallel harness runs Worlds on
-# multiple goroutines, so -race is part of tier 1, not an extra), and
-# survive a fuzz smoke pass over the invariant-checker targets.
-check: build vet race fuzz-smoke
+# check is the full gate: everything must build, vet clean, lint clean
+# under nvlint, pass the test suite under the race detector (the parallel
+# harness runs Worlds on multiple goroutines, so -race is part of tier 1,
+# not an extra), and survive a fuzz smoke pass over the invariant-checker
+# targets.
+check: build vet lint race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

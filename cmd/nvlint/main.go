@@ -1,0 +1,61 @@
+// Command nvlint runs the simulator-aware static analyzer over the module:
+// determinism, hot-path allocation-freedom, exit-reason exhaustiveness,
+// no-panic engine code, and the Op by-value contract. It prints one
+// file:line finding per violation and exits nonzero if any are active.
+//
+// Usage:
+//
+//	nvlint [-dir .] [-v]
+//
+// With -v it also prints the hot-path call chain justifying each allocation
+// finding, the suppressed findings with their //nvlint:ignore reasons, and
+// the hot-set size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to analyze")
+	verbose := flag.Bool("v", false, "print call chains, suppressions and hot-set size")
+	flag.Parse()
+
+	cfg, err := lint.ModuleConfig(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvlint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvlint:", err)
+		os.Exit(2)
+	}
+
+	for _, f := range res.Findings {
+		fmt.Println(f)
+		if *verbose && len(f.Chain) > 0 {
+			fmt.Printf("\thot via: %s\n", strings.Join(f.Chain, " -> "))
+		}
+	}
+	if *verbose {
+		for _, f := range res.Suppressed {
+			fmt.Printf("%s:%d: [%s] suppressed: %s (reason: %s)\n",
+				f.File, f.Line, f.Rule, f.Msg, f.SuppressReason)
+			if len(f.Chain) > 0 {
+				fmt.Printf("\thot via: %s\n", strings.Join(f.Chain, " -> "))
+			}
+		}
+		fmt.Printf("nvlint: %d hot function(s), %d finding(s), %d suppressed\n",
+			res.HotFuncs, len(res.Findings), len(res.Suppressed))
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "nvlint: %d finding(s)\n", len(res.Findings))
+		os.Exit(1)
+	}
+}

@@ -117,6 +117,7 @@ func (c *Checker) violate(invariant, format string, args ...any) {
 // Begin implements hyper.InvariantChecker.
 func (c *Checker) Begin(w *hyper.World, v *hyper.VCPU, b hyper.Boundary, op hyper.Op) int {
 	s := w.Host.Machine.Stats
+	//nvlint:ignore hotalloc frame stack capacity is warm after the first op at each nesting depth
 	c.frames = append(c.frames, frame{
 		b:       b,
 		op:      op,
@@ -130,6 +131,7 @@ func (c *Checker) Begin(w *hyper.World, v *hyper.VCPU, b hyper.Boundary, op hype
 // End implements hyper.InvariantChecker.
 func (c *Checker) End(token int, w *hyper.World, v *hyper.VCPU, b hyper.Boundary, op hyper.Op, cost sim.Cycles, err error) {
 	if token != len(c.frames)-1 || token < 0 {
+		//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
 		c.violate("frame-balance", "End(%v) token %d does not match frame depth %d", b, token, len(c.frames))
 		if token >= 0 && token < len(c.frames) {
 			c.frames = c.frames[:token]
@@ -145,17 +147,22 @@ func (c *Checker) End(token int, w *hyper.World, v *hyper.VCPU, b hyper.Boundary
 	}
 	s := w.Host.Machine.Stats
 	if d := s.TotalCycles() - f.cycles; d != cost {
-		c.violate("cycle-conservation", "%v(%v) on %s returned %v cycles but charged %v",
-			b, f.op.Kind, vcpuName(v), cost, d)
+		//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
+		c.violate("cycle-conservation", "%v(%v) on %s returned %v cycles but charged %v", b, f.op.Kind, vcpuName(v), cost, d)
 	}
 	hwD := s.TotalHardwareExits() - f.hw
 	hdD := s.TotalHandledExits() - f.handled
 	if hwD != hdD {
-		c.violate("exit-conservation", "%v(%v) on %s took %d hardware exits but %d were handled",
-			b, f.op.Kind, vcpuName(v), hwD, hdD)
+		//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
+		c.violate("exit-conservation", "%v(%v) on %s took %d hardware exits but %d were handled", b, f.op.Kind, vcpuName(v), hwD, hdD)
 	}
 	if v != nil {
-		c.checkLAPIC(vcpuName(v), v.LAPIC)
+		// The disjointness test itself is allocation-free; the vCPU name is
+		// only rendered once a breach is being reported.
+		if word, overlap, bad := lapicOverlap(v.LAPIC); bad {
+			//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
+			c.violate("lapic-irr-isr-disjoint", "%s: vectors %#x (word %d) both pending and in service", vcpuName(v), overlap, word)
+		}
 	}
 }
 
@@ -171,8 +178,8 @@ func (c *Checker) TimerArmed(w *hyper.World, v *hyper.VCPU, hostDeadline uint64)
 		// the guest-domain deadline is derived so the end-of-run sweep still
 		// catches chain corruption after the restore.
 		if lapic := v.LAPIC.TSCDeadline(); hostDeadline != lapic {
-			c.violate("timer-arm-lapic",
-				"%s: restored timer armed for %d but LAPIC programmed with %d", vcpuName(v), hostDeadline, lapic)
+			//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
+			c.violate("timer-arm-lapic", "%s: restored timer armed for %d but LAPIC programmed with %d", vcpuName(v), hostDeadline, lapic)
 			return
 		}
 		guest = uint64(int64(hostDeadline) - combinedTSCOffset(v))
@@ -180,7 +187,7 @@ func (c *Checker) TimerArmed(w *hyper.World, v *hyper.VCPU, hostDeadline uint64)
 	arm := timerArm{v: v, guestDeadline: guest, hostDeadline: hostDeadline}
 	c.checkArm(arm)
 	if len(c.arms) < maxTimerArms {
-		c.arms = append(c.arms, arm)
+		c.arms = append(c.arms, arm) //nvlint:ignore hotalloc capped record buffer; growth amortizes to the maxTimerArms cap
 	} else {
 		c.armsDropped++
 	}
@@ -203,9 +210,8 @@ func (c *Checker) checkArm(a timerArm) {
 	chain := combinedTSCOffset(a.v)
 	want := uint64(int64(a.guestDeadline) + chain)
 	if a.hostDeadline != want {
-		c.violate("tsc-offset-chain",
-			"%s: host deadline %d != guest deadline %d + chain offset %d (= %d)",
-			vcpuName(a.v), a.hostDeadline, a.guestDeadline, chain, want)
+		//nvlint:ignore hotalloc violation path: formatting the breach report may allocate
+		c.violate("tsc-offset-chain", "%s: host deadline %d != guest deadline %d + chain offset %d (= %d)", vcpuName(a.v), a.hostDeadline, a.guestDeadline, chain, want)
 	}
 }
 
@@ -220,18 +226,31 @@ func combinedTSCOffset(v *hyper.VCPU) int64 {
 }
 
 // checkLAPIC verifies IRR/ISR disjointness: hardware never holds a vector as
-// both pending and in service.
+// both pending and in service. Used by the end-of-run sweep; the boundary
+// path (End) calls lapicOverlap directly so the name is formatted only when a
+// breach is reported.
 func (c *Checker) checkLAPIC(name string, l *apic.LAPIC) {
-	irr, isr := l.IRRSnapshot(), l.ISRSnapshot()
-	for i := range irr {
-		if overlap := irr[i] & isr[i]; overlap != 0 {
-			c.violate("lapic-irr-isr-disjoint",
-				"%s: vectors %#x (word %d) both pending and in service", name, overlap, i)
-			return
-		}
+	if word, overlap, bad := lapicOverlap(l); bad {
+		c.violate("lapic-irr-isr-disjoint",
+			"%s: vectors %#x (word %d) both pending and in service", name, overlap, word)
 	}
 }
 
+// lapicOverlap returns the first IRR/ISR word overlap, allocation-free.
+func lapicOverlap(l *apic.LAPIC) (word int, overlap uint64, bad bool) {
+	irr, isr := l.IRRSnapshot(), l.ISRSnapshot()
+	for i := range irr {
+		if o := irr[i] & isr[i]; o != 0 {
+			return i, o, true
+		}
+	}
+	return 0, 0, false
+}
+
+// vcpuName renders a vCPU identity for a violation message; it allocates and
+// must only be called on breach-reporting paths.
+//
+//nvlint:cold
 func vcpuName(v *hyper.VCPU) string {
 	if v == nil {
 		return "<none>"

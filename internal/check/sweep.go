@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hyper"
 	"repro/internal/mem"
@@ -104,7 +105,14 @@ func (c *Checker) checkDirtyTracking(vm *hyper.VM) {
 			return
 		}
 	}
+	// Iterate in sorted order so the reported frame is the same on every run
+	// (map order would otherwise pick an arbitrary offender).
+	eptPFNs := make([]mem.PFN, 0, len(eptDirty))
 	for p := range eptDirty {
+		eptPFNs = append(eptPFNs, p)
+	}
+	sort.Slice(eptPFNs, func(i, j int) bool { return eptPFNs[i] < eptPFNs[j] })
+	for _, p := range eptPFNs {
 		if !vm.Written(p) {
 			c.violate("ept-dirty-written", "%s: EPT-dirty frame %#x never marked written", vm.Name, uint64(p))
 			return

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hyper"
 	"repro/internal/sim"
@@ -106,8 +107,14 @@ func Enable(w *hyper.World, f Features) *DVH {
 // for all VMs above it.
 func (d *DVH) DisableAt(h *hyper.Hypervisor, f Features) {
 	d.disabled[h] |= f
-	// Re-run configuration for every already-configured VM above.
+	// Re-run configuration for every already-configured VM above, in a fixed
+	// (name-sorted) order so control rewrites are reproducible run to run.
+	vms := make([]*hyper.VM, 0, len(d.vcimts))
 	for vm := range d.vcimts {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i].Name < vms[j].Name })
+	for _, vm := range vms {
 		d.configureControls(vm)
 	}
 }
@@ -269,8 +276,12 @@ func (d *DVH) TryHandle(w *hyper.World, v *hyper.VCPU, op hyper.Op) (bool, sim.C
 		vp.Kicks++
 		stats.Inc("dvh.vp.kicks", 1)
 		return true, work + backend, nil
+
+	default:
+		// DVH interposes only on the three kinds above; everything else is
+		// forwarded to the owning guest hypervisor unchanged.
+		return false, 0, nil
 	}
-	return false, 0, nil
 }
 
 // eptWalkLevels is the radix depth of the EPT the host walks to validate a

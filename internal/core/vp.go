@@ -249,12 +249,14 @@ func (v *vpDMA) forEachPage(a mem.Addr, n int, fn func(l1 mem.Addr, off, step in
 }
 
 func (v *vpDMA) Read(a mem.Addr, buf []byte) error {
+	//nvlint:ignore hotalloc closure is called directly by forEachPage and does not escape (stack-allocated)
 	return v.forEachPage(a, len(buf), func(l1 mem.Addr, off, step int, _ mem.PFN) error {
 		return v.vp.holder.Memory().Read(l1, buf[off:off+step])
 	})
 }
 
 func (v *vpDMA) Write(a mem.Addr, buf []byte) error {
+	//nvlint:ignore hotalloc closure is called directly by forEachPage and does not escape (stack-allocated)
 	return v.forEachPage(a, len(buf), func(l1 mem.Addr, off, step int, page mem.PFN) error {
 		v.vp.HostDirty.Set(uint64(page))
 		return v.vp.holder.Memory().Write(l1, buf[off:off+step])
@@ -287,7 +289,7 @@ type vpMigOps struct {
 	vp *VPState
 }
 
-func (o *vpMigOps) CaptureState() []byte {
+func (o *vpMigOps) CaptureState() ([]byte, error) {
 	st := vpDeviceState{Name: o.vp.Dev.Name, Kicks: o.vp.Kicks}
 	if o.vp.Dev.Net != nil {
 		st.TxFrames = o.vp.Dev.Net.TxFrames
@@ -299,9 +301,9 @@ func (o *vpMigOps) CaptureState() []byte {
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
-		panic(err) // static struct; cannot fail
+		return nil, fmt.Errorf("dvh: encoding %s device state: %w", o.vp.Dev.Name, err)
 	}
-	return blob
+	return blob, nil
 }
 
 func (o *vpMigOps) SetDirtyLogging(enable bool) {

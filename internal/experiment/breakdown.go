@@ -48,8 +48,13 @@ func Breakdown() ([]BreakdownRow, error) {
 			PerTxn:     make(map[string]float64, len(res.Breakdown)),
 			WorkCycles: float64(p.WorkCycles),
 		}
-		for k, c := range res.Breakdown {
-			row.PerTxn[k] = float64(c) / float64(res.Transactions)
+		keys := make([]string, 0, len(res.Breakdown))
+		for k := range res.Breakdown {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			row.PerTxn[k] = float64(res.Breakdown[k]) / float64(res.Transactions)
 		}
 		return row, nil
 	})

@@ -133,6 +133,8 @@ func Build(spec Spec) (*Stack, error) {
 			features = core.FeaturesVP
 		case IODVH:
 			features = core.FeaturesAll
+		default:
+			// Paravirtual and passthrough baselines run without DVH.
 		}
 	}
 	if features != 0 {
@@ -145,8 +147,10 @@ func Build(spec Spec) (*Stack, error) {
 			return xen.Xen{}
 		case GuestHyperV:
 			return hyperv.HyperV{}
+		default:
+			// GuestKVM and the zero value both mean the paper's default stack.
+			return hyper.KVM{}
 		}
-		return hyper.KVM{}
 	}
 
 	// Build the VM chain: 4 cores for the innermost VM plus 2 per

@@ -78,6 +78,8 @@ func (KVM) HandlerScript(r vmx.ExitReason) Script {
 		// ICR emulation path: destination resolution in its vCPU table.
 		s.PrivOps++ // posted-interrupt send request
 		s.SoftWork += 400
+	default:
+		// Every other reason runs the base handler footprint unchanged.
 	}
 	return s
 }

@@ -276,6 +276,7 @@ func (vm *VM) AllocPages(n int) (mem.Addr, error) {
 func (vm *VM) MustAllocPages(n int) mem.Addr {
 	base, err := vm.AllocPages(n)
 	if err != nil {
+		//nvlint:ignore nopanic documented Must helper; callers assert statically known-good sizes
 		panic(err)
 	}
 	return base
@@ -332,7 +333,9 @@ func (vm *VM) translateToHost(a mem.Addr, access mem.Perm) (mem.Addr, error) {
 // Memory returns a byte-addressable view of the VM's guest-physical memory,
 // backed (through the EPT chain) by machine memory, with per-level dirty
 // tracking on writes.
-func (vm *VM) Memory() *GuestMemory { return &GuestMemory{vm: vm} }
+func (vm *VM) Memory() *GuestMemory {
+	return &GuestMemory{vm: vm} //nvlint:ignore hotalloc one-word view; reached only on ring-processing paths, never on steady kicks
+}
 
 // StartDirtyLog begins recording written guest frames (pre-copy migration).
 func (vm *VM) StartDirtyLog() { vm.dirty = mem.NewBitmap(uint64(vm.NumPages)) }
@@ -396,6 +399,7 @@ type GuestMemory struct {
 
 // Read copies bytes out of guest memory.
 func (g *GuestMemory) Read(a mem.Addr, buf []byte) error {
+	//nvlint:ignore hotalloc closure is called directly by chunked and does not escape (stack-allocated)
 	return g.chunked(a, len(buf), mem.PermRead, func(host mem.Addr, off, n int) error {
 		return g.vm.Owner.Machine.Memory.Read(host, buf[off:off+n])
 	})
@@ -403,6 +407,7 @@ func (g *GuestMemory) Read(a mem.Addr, buf []byte) error {
 
 // Write copies bytes into guest memory, marking dirty pages at every level.
 func (g *GuestMemory) Write(a mem.Addr, buf []byte) error {
+	//nvlint:ignore hotalloc closure is called directly by chunked and does not escape (stack-allocated)
 	return g.chunked(a, len(buf), mem.PermWrite, func(host mem.Addr, off, n int) error {
 		g.vm.markWrite(mem.PageOf(a + mem.Addr(off)))
 		return g.vm.Owner.Machine.Memory.Write(host, buf[off:off+n])
@@ -467,7 +472,10 @@ func (v *VCPU) AncestorAt(level int) (*VCPU, error) {
 	return nil, fmt.Errorf("hyper: no ancestor of %s/vcpu%d at level %d", v.VM.Name, v.ID, level)
 }
 
-// Path renders the nesting ancestry for diagnostics.
+// Path renders the nesting ancestry for diagnostics. It allocates freely and
+// is only ever called to label an error that aborts the operation anyway.
+//
+//nvlint:cold
 func (v *VCPU) Path() string {
 	s := fmt.Sprintf("%s/vcpu%d", v.VM.Name, v.ID)
 	if v.Parent != nil {

@@ -39,6 +39,8 @@ func (HyperV) HandlerScript(r vmx.ExitReason) hyper.Script {
 		s.SoftWork += 400
 	case vmx.ExitAPICAccess:
 		s.SoftWork += 450
+	default:
+		// Every other reason runs the base handler footprint unchanged.
 	}
 	return s
 }

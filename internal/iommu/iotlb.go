@@ -55,6 +55,7 @@ func (t *IOTLB) insert(d *Domain, p, target mem.PFN, perms mem.Perm) {
 		// simpler than a list and the access pattern is streaming anyway.
 		var victim iotlbKey
 		oldest := ^uint64(0)
+		//nvlint:ordered stamps are unique (clock increments per insert), so the minimum is order-independent
 		for k, e := range t.entries {
 			if e.stamp < oldest {
 				oldest = e.stamp
@@ -74,6 +75,7 @@ func (t *IOTLB) invalidatePage(d *Domain, p mem.PFN) {
 
 // invalidateDomain drops every translation of one domain.
 func (t *IOTLB) invalidateDomain(d *Domain) {
+	//nvlint:ordered unconditionally deletes every matching key; the surviving set is order-independent
 	for k := range t.entries {
 		if k.domain == d {
 			delete(t.entries, k)

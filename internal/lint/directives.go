@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nvlint comment directives:
+//
+//	//nvlint:ignore <rule> <reason>   suppress <rule> findings on this line and
+//	                                  the next; for hotalloc the directive also
+//	                                  cuts call-graph edges at calls it covers
+//	//nvlint:ordered <reason>         allow a map range on this line / the next
+//	                                  (iteration order provably cannot reach
+//	                                  simulator output)
+//	//nvlint:hot                      (func doc) add this function as a
+//	                                  hot-path root
+//	//nvlint:cold                     (func doc) exclude this function from the
+//	                                  hot set even if reachable
+const directivePrefix = "//nvlint:"
+
+// ignoreDirective is one parsed //nvlint:ignore.
+type ignoreDirective struct {
+	rule   string
+	reason string
+}
+
+// fileDirectives indexes one file's directives by source line.
+type fileDirectives struct {
+	// ignores maps a line to the suppressions covering it. A directive on
+	// line N covers lines N and N+1 (inline and statement-above styles).
+	ignores map[int][]ignoreDirective
+	// ordered marks lines where a map range is explicitly allowed.
+	ordered map[int]string
+}
+
+// parseDirectives extracts the nvlint directives from one file's comments.
+func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{
+		ignores: map[int][]ignoreDirective{},
+		ordered: map[int]string{},
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			body := strings.TrimPrefix(text, directivePrefix)
+			verb, rest, _ := strings.Cut(body, " ")
+			rest = strings.TrimSpace(rest)
+			switch verb {
+			case "ignore":
+				rule, reason, _ := strings.Cut(rest, " ")
+				for _, l := range []int{line, line + 1} {
+					d.ignores[l] = append(d.ignores[l], ignoreDirective{
+						rule:   rule,
+						reason: strings.TrimSpace(reason),
+					})
+				}
+			case "ordered":
+				d.ordered[line] = rest
+				d.ordered[line+1] = rest
+			}
+		}
+	}
+	return d
+}
+
+// suppression returns the reason an active //nvlint:ignore covers this rule at
+// this line, and whether one does.
+func (d *fileDirectives) suppression(rule string, line int) (string, bool) {
+	for _, ig := range d.ignores[line] {
+		if ig.rule == rule {
+			return ig.reason, true
+		}
+	}
+	return "", false
+}
+
+// orderedAt reports whether a map range at this line is allowlisted.
+func (d *fileDirectives) orderedAt(line int) bool {
+	_, ok := d.ordered[line]
+	return ok
+}
+
+// funcMarker inspects a function's doc comment for //nvlint:hot or
+// //nvlint:cold and returns "hot", "cold", or "".
+func funcMarker(fd *ast.FuncDecl) string {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, c := range fd.Doc.List {
+		body := strings.TrimPrefix(c.Text, directivePrefix)
+		if body == c.Text {
+			continue
+		}
+		verb, _, _ := strings.Cut(body, " ")
+		if verb == "hot" || verb == "cold" {
+			return verb
+		}
+	}
+	return ""
+}

@@ -1,0 +1,201 @@
+// Package lint implements nvlint, a simulator-aware static analyzer for this
+// module. The compiler cannot see the properties the simulator's credibility
+// rests on — bit-identical runs at any parallelism width, a 0 allocs/op
+// nested-exit hot path, and exit-reason handling that covers every reason the
+// model can emit — so nvlint proves them on every path, not just executed
+// ones. It is built only on the standard library (go/parser, go/ast,
+// go/types): the module is dependency-free and stays that way.
+//
+// Rules:
+//
+//	determinism  no time.Now, unseeded math/rand, go statements outside the
+//	             allowed packages, and no map ranges whose order can reach
+//	             simulator output (sorted-collect idiom or //nvlint:ordered
+//	             allowlists a range)
+//	hotalloc     no allocating constructs in functions reachable from the
+//	             hot-path roots (World.Execute, DVHHost.TryHandle)
+//	exhaustive   switches over module-declared enum types cover every
+//	             constant or carry an explicit default
+//	nopanic      panic() is forbidden in non-test engine packages
+//	opbyvalue    hyper.Op is passed by value, never by pointer
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule identifiers, as used in findings and //nvlint:ignore directives.
+const (
+	RuleDeterminism = "determinism"
+	RuleHotAlloc    = "hotalloc"
+	RuleExhaustive  = "exhaustive"
+	RuleNoPanic     = "nopanic"
+	RuleOpByValue   = "opbyvalue"
+)
+
+// Config selects what to analyze and how.
+type Config struct {
+	// Dir is the module root (the directory holding go.mod, or any tree of
+	// packages when ModulePath is set explicitly).
+	Dir string
+	// ModulePath is the module's import path; read from Dir/go.mod when
+	// empty.
+	ModulePath string
+	// Deps maps extra import paths to directories, letting a tree outside
+	// the module (linter testdata) import real module packages.
+	Deps map[string]string
+	// EnginePrefixes are the import-path prefixes the determinism and
+	// nopanic rules apply to. Defaults to ModulePath+"/internal/".
+	EnginePrefixes []string
+	// GoStmtAllowed lists packages where go statements are permitted.
+	GoStmtAllowed []string
+	// HotRoots are the allocation-freedom roots: "pkg/path.Func",
+	// "pkg/path.(*Recv).Method", or "pkg/path.Iface.Method" (every module
+	// implementation of the interface method becomes a root).
+	HotRoots []string
+	// ByValueTypes are named types that must never be passed by pointer or
+	// have their address taken, as "pkg/path.Name".
+	ByValueTypes []string
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	// File is the path of the offending file, Line its 1-based line.
+	File string
+	Line int
+	// Rule is the rule identifier.
+	Rule string
+	// Msg describes the violation.
+	Msg string
+	// Chain, for hotalloc findings, is the call chain from a hot root to
+	// the function holding the allocation.
+	Chain []string
+	// SuppressReason is set on suppressed findings: the //nvlint:ignore
+	// reason text.
+	SuppressReason string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	// Findings are the active violations, sorted by file, line, rule.
+	Findings []Finding
+	// Suppressed are findings covered by //nvlint:ignore, same order.
+	Suppressed []Finding
+	// HotFuncs is the number of functions in the hot set (for -v).
+	HotFuncs int
+}
+
+// ModuleConfig returns the configuration nvlint uses for this repository:
+// the DVH engine's hot roots, the by-value Op contract, and the parallel
+// runner as the only package allowed to start goroutines.
+func ModuleConfig(dir string) (Config, error) {
+	cfg := Config{Dir: dir}
+	mp, err := modulePath(dir)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.ModulePath = mp
+	cfg.EnginePrefixes = []string{mp + "/internal/"}
+	cfg.GoStmtAllowed = []string{mp + "/internal/parallel"}
+	cfg.HotRoots = []string{
+		mp + "/internal/hyper.(*World).Execute",
+		mp + "/internal/hyper.DVHHost.TryHandle",
+	}
+	cfg.ByValueTypes = []string{mp + "/internal/hyper.Op"}
+	return cfg, nil
+}
+
+// modulePath reads the module path from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", dir)
+}
+
+// Run loads the configured packages and applies every rule.
+func Run(cfg Config) (*Result, error) {
+	if cfg.ModulePath == "" {
+		mp, err := modulePath(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = mp
+	}
+	if cfg.EnginePrefixes == nil {
+		cfg.EnginePrefixes = []string{cfg.ModulePath + "/internal/"}
+	}
+	prog, err := load(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var all []Finding
+	all = append(all, checkDeterminism(prog, &cfg)...)
+	all = append(all, checkNoPanic(prog, &cfg)...)
+	all = append(all, checkExhaustive(prog, &cfg)...)
+	ops, err := checkOpByValue(prog, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, ops...)
+	hot, nHot, err := checkHotAlloc(prog, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, hot...)
+
+	res := &Result{HotFuncs: nHot}
+	for _, f := range all {
+		if f.SuppressReason != "" {
+			res.Suppressed = append(res.Suppressed, f)
+		} else {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// engineScoped reports whether the rule families restricted to engine code
+// (determinism, nopanic) apply to this package.
+func engineScoped(cfg *Config, pkgPath string) bool {
+	for _, p := range cfg.EnginePrefixes {
+		if pkgPath == strings.TrimSuffix(p, "/") || strings.HasPrefix(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

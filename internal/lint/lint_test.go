@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE matches a golden expectation: `// want "substring of the message"`.
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// collectWants scans a testdata directory's sources for // want comments,
+// returning file -> line -> unmatched expectations.
+func collectWants(t *testing.T, dir string) map[string]map[int][]string {
+	t.Helper()
+	wants := map[string]map[int][]string{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				if wants[path] == nil {
+					wants[path] = map[int][]string{}
+				}
+				wants[path][i+1] = append(wants[path][i+1], m[1])
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want expectations under %s", dir)
+	}
+	return wants
+}
+
+// runGolden lints one testdata package and matches findings against wants.
+func runGolden(t *testing.T, name string, mutate func(*Config)) {
+	t.Helper()
+	cfg := Config{
+		Dir:            filepath.Join("testdata", "src", name),
+		ModulePath:     "lintcheck/" + name,
+		EnginePrefixes: []string{"lintcheck/"},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, cfg.Dir)
+	for _, f := range res.Findings {
+		matched := false
+		for i, w := range wants[f.File][f.Line] {
+			if strings.Contains(f.Msg, w) {
+				wants[f.File][f.Line] = append(wants[f.File][f.Line][:i], wants[f.File][f.Line][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for file, lines := range wants {
+		for line, rest := range lines {
+			for _, w := range rest {
+				t.Errorf("%s:%d: expected a finding containing %q, got none", file, line, w)
+			}
+		}
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) { runGolden(t, "determinism", nil) }
+
+func TestGoldenNoPanic(t *testing.T) { runGolden(t, "nopanic", nil) }
+
+func TestGoldenHotAlloc(t *testing.T) {
+	runGolden(t, "hotalloc", func(c *Config) {
+		c.HotRoots = []string{"lintcheck/hotalloc.Execute"}
+	})
+}
+
+func TestGoldenOpByValue(t *testing.T) {
+	runGolden(t, "opbyvalue", func(c *Config) {
+		c.ByValueTypes = []string{"lintcheck/opbyvalue.Op"}
+	})
+}
+
+func TestGoldenExhaustive(t *testing.T) {
+	runGolden(t, "exhaustive", func(c *Config) {
+		// The testdata imports the real vmx package, proving the acceptance
+		// case: a switch missing exactly one ExitReason is caught.
+		c.Deps = map[string]string{"repro/internal/vmx": filepath.Join("..", "vmx")}
+	})
+}
+
+// TestGoldenSuppressionsRecorded proves suppressed findings are kept (with
+// their reasons) rather than silently dropped.
+func TestGoldenSuppressionsRecorded(t *testing.T) {
+	res, err := Run(Config{
+		Dir:            filepath.Join("testdata", "src", "nopanic"),
+		ModulePath:     "lintcheck/nopanic",
+		EnginePrefixes: []string{"lintcheck/"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want the one annotated panic", len(res.Suppressed))
+	}
+	s := res.Suppressed[0]
+	if s.Rule != RuleNoPanic || !strings.Contains(s.SuppressReason, "documented invariant") {
+		t.Fatalf("suppressed finding = %+v", s)
+	}
+}
+
+// TestModuleLintsClean is the gate the repository itself must pass: nvlint
+// over the whole module reports nothing.
+func TestModuleLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module from source")
+	}
+	cfg, err := ModuleConfig(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Error(f.String())
+	}
+	if res.HotFuncs == 0 {
+		t.Error("hot set is empty; the hot roots did not resolve")
+	}
+	// Every suppression must carry a reason: an unexplained ignore is a
+	// finding in itself.
+	for _, s := range res.Suppressed {
+		if s.SuppressReason == "(no reason given)" {
+			t.Errorf("%s:%d: [%s] suppressed without a reason", s.File, s.Line, s.Rule)
+		}
+	}
+}

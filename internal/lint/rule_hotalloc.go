@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// checkHotAlloc turns the 0 allocs/op benchmark into a static guarantee: it
+// walks the call graph from the configured hot roots (plus any //nvlint:hot
+// function) and flags every allocating construct in a hot-reachable function.
+// //nvlint:cold prunes a function from the walk; //nvlint:ignore hotalloc at
+// a call site cuts the edge; error construction inside a return statement
+// (fmt.Errorf / errors.New) is exempt — bail-out paths may allocate.
+func checkHotAlloc(prog *program, cfg *Config) ([]Finding, int, error) {
+	g := buildCallGraph(prog)
+	var roots []*types.Func
+	for _, spec := range cfg.HotRoots {
+		fns, err := g.resolveRoot(spec)
+		if err != nil {
+			return nil, 0, err
+		}
+		roots = append(roots, fns...)
+	}
+	for _, pkg := range prog.pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || funcMarker(fd) != "hot" {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	hot := g.hotSet(roots)
+
+	// Deterministic function order for the scan.
+	fns := make([]*types.Func, 0, len(hot))
+	for fn := range hot { //nvlint:ordered sorted by funcID on the next line
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcID(fns[i]) < funcID(fns[j]) })
+
+	var out []Finding
+	for _, fn := range fns {
+		fd, ok := prog.funcs[fn]
+		if !ok {
+			continue
+		}
+		out = append(out, scanHotFunc(prog, fd, hot[fn])...)
+	}
+	return out, len(hot), nil
+}
+
+// scanHotFunc flags the allocating constructs in one hot function body.
+func scanHotFunc(prog *program, fd *funcDecl, chain []string) []Finding {
+	pkg := fd.pkg
+	file := fileOf(pkg, fd.decl.Pos())
+	dirs := pkg.Directives[file]
+	exempt := errorReturnRanges(pkg, fd.decl.Body)
+	var out []Finding
+	emit := func(pos token.Pos, msg string) {
+		f := finding(prog, pkg, dirs, pos, RuleHotAlloc, msg+" in hot function "+funcID(funcOf(pkg, fd.decl)))
+		f.Chain = chain
+		out = append(out, f)
+	}
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		for _, r := range exempt {
+			if n.Pos() >= r.lo && n.End() <= r.hi {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if captures(pkg, n) {
+				emit(n.Pos(), "closure captures variables (heap-allocated environment)")
+			}
+			return false // the literal's body runs later, not at creation
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					emit(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					emit(n.Pos(), "slice/map composite literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			return scanHotCall(prog, pkg, n, emit)
+		}
+		return true
+	})
+	return out
+}
+
+// scanHotCall flags the allocating call forms: make/new/append builtins,
+// fmt.* calls, allocating conversions, and interface boxing of non-constant,
+// non-pointer-shaped arguments.
+func scanHotCall(prog *program, pkg *Package, call *ast.CallExpr, emit func(token.Pos, string)) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				emit(call.Pos(), "make allocates")
+			case "new":
+				emit(call.Pos(), "new allocates")
+			case "append":
+				emit(call.Pos(), "append may grow its backing array")
+			}
+			return true
+		}
+	}
+	if pkgName, fn := stdlibCall(pkg, call); pkgName == "fmt" {
+		emit(call.Pos(), "fmt."+fn+" allocates (formatting state and boxed arguments)")
+		return false // don't double-report the boxed arguments below
+	}
+	// Conversions: T(x) with a slice target, or string(byteslice), allocate.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type.Underlying()
+		if _, ok := target.(*types.Slice); ok {
+			emit(call.Pos(), "conversion to slice type allocates")
+		}
+		if b, ok := target.(*types.Basic); ok && b.Kind() == types.String && len(call.Args) == 1 {
+			if at := pkg.Info.TypeOf(call.Args[0]); at != nil {
+				if _, ok := at.Underlying().(*types.Slice); ok {
+					emit(call.Pos(), "byte-slice to string conversion allocates")
+				}
+			}
+		}
+		return true
+	}
+	// Interface boxing at call arguments.
+	sig, ok := pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return true
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if tv.Value != nil {
+			continue // constants convert to static interface data
+		}
+		if types.IsInterface(tv.Type.Underlying()) || pointerShaped(tv.Type) {
+			continue
+		}
+		emit(arg.Pos(), "argument boxed into interface parameter (heap allocation)")
+	}
+	return true
+}
+
+// paramType returns the effective parameter type for argument i, unwrapping
+// the variadic slice unless the call spreads with "...".
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && !ellipsis && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// pointerShaped reports whether storing a value of this type in an interface
+// needs no allocation (the value is a single pointer word).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// captures reports whether a function literal references variables declared
+// outside it (forcing a heap-allocated closure environment).
+func captures(pkg *Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != pkg.Types {
+			return true
+		}
+		if v.Parent() == pkg.Types.Scope() {
+			return true // package-level variable, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// errRange is a half-open position range exempt from allocation findings.
+type errRange struct{ lo, hi token.Pos }
+
+// errorReturnRanges finds the fmt.Errorf / errors.New calls inside return
+// statements: error construction on bail-out paths is exempt by design.
+func errorReturnRanges(pkg *Package, body *ast.BlockStmt) []errRange {
+	var out []errRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ret, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p, fn := stdlibCall(pkg, call); (p == "fmt" && fn == "Errorf") || (p == "errors" && (fn == "New" || fn == "Join")) {
+				out = append(out, errRange{lo: call.Pos(), hi: call.End()})
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// fileOf returns the package file containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcOf resolves a declaration back to its types.Func for display.
+func funcOf(pkg *Package, fd *ast.FuncDecl) *types.Func {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	return fn
+}

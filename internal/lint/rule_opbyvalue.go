@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkOpByValue enforces the by-value contract on the configured types
+// (hyper.Op): the nested-exit hot path was rebuilt to pass Op by value
+// precisely so it never escapes to the heap; taking its address or declaring
+// *Op parameters, results, or fields would quietly re-introduce that escape.
+func checkOpByValue(prog *program, cfg *Config) ([]Finding, error) {
+	targets := make(map[*types.Named]string)
+	for _, spec := range cfg.ByValueTypes {
+		pkg, name := splitQualified(prog, spec)
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: by-value type %q: package not loaded", spec)
+		}
+		tn, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			return nil, fmt.Errorf("lint: by-value type %q not found", spec)
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil, fmt.Errorf("lint: by-value type %q is not a named type", spec)
+		}
+		targets[named] = shortName(spec)
+	}
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	var out []Finding
+	for _, pkg := range prog.pkgs {
+		for _, f := range pkg.Files {
+			dirs := pkg.Directives[f]
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.UnaryExpr:
+					if n.Op != token.AND {
+						return true
+					}
+					if name, ok := targetOf(pkg, targets, pkg.Info.TypeOf(n.X)); ok {
+						out = append(out, finding(prog, pkg, dirs, n.Pos(), RuleOpByValue,
+							"address of "+name+" taken; "+name+" must stay by-value to avoid the hot-path heap escape"))
+					}
+				case *ast.StarExpr:
+					// A *T type expression (params, results, fields, vars).
+					tv, ok := pkg.Info.Types[n]
+					if !ok || !tv.IsType() {
+						return true
+					}
+					ptr, ok := tv.Type.(*types.Pointer)
+					if !ok {
+						return true
+					}
+					if name, ok := targetOf(pkg, targets, ptr.Elem()); ok {
+						out = append(out, finding(prog, pkg, dirs, n.Pos(), RuleOpByValue,
+							"pointer to "+name+" declared; pass "+name+" by value"))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// targetOf reports whether t is one of the by-value target types.
+func targetOf(pkg *Package, targets map[*types.Named]string, t types.Type) (string, bool) {
+	n := namedOf(t)
+	if n == nil {
+		return "", false
+	}
+	// Compare by identity; the same Named is shared across packages because
+	// the module importer returns the already-checked package.
+	if name, ok := targets[n]; ok {
+		return name, true
+	}
+	return "", false
+}
+
+// shortName renders "pkg/path.Name" as "pkgbase.Name" for messages.
+func shortName(spec string) string {
+	slash := strings.LastIndex(spec, "/")
+	return spec[slash+1:]
+}

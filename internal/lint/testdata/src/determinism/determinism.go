@@ -1,0 +1,68 @@
+// Package determinism exercises the determinism rule: wall-clock reads,
+// global math/rand use, go statements outside the allowed packages, and map
+// ranges whose order can leak into output must all be flagged, while the
+// seeded-RNG, collect-then-sort and //nvlint:ordered shapes must not.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock leaks the host clock into the simulation.
+func Clock() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// Nap stalls on host time.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+// GlobalRand draws from the unseeded global source.
+func GlobalRand() int {
+	return rand.Intn(6) // want "math/rand.Intn uses the global"
+}
+
+// SeededRand is fine: the source is explicit and reproducible.
+func SeededRand() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// Spawn starts a goroutine outside internal/parallel.
+func Spawn(ch chan int) {
+	go send(ch) // want "go statement outside the allowed packages"
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// LeakOrder folds map values in iteration order.
+func LeakOrder(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "range over map"
+		t += v
+	}
+	return t
+}
+
+// CollectIdiom is the allowed shape: collect the keys, sort, then use.
+func CollectIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Annotated ranges are allowed when the annotation explains why order
+// cannot matter.
+func Annotated(m map[string]bool) int {
+	n := 0
+	//nvlint:ordered counting elements is order-independent
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+// Package exhaustive exercises enum-switch coverage: switches over
+// module-declared enum types — including the real vmx.ExitReason imported
+// from the module under test — must cover every constant or carry an
+// explicit default.
+package exhaustive
+
+import "repro/internal/vmx"
+
+// Mode is a local three-valued enum.
+type Mode int
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+// Describe silently drops ModeAuto.
+func Describe(m Mode) string {
+	switch m { // want "misses ModeAuto and has no default"
+	case ModeOff:
+		return "off"
+	case ModeOn:
+		return "on"
+	}
+	return "?"
+}
+
+// Covered names every value.
+func Covered(m Mode) string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeOn:
+		return "on"
+	case ModeAuto:
+		return "auto"
+	}
+	return "?"
+}
+
+// Defaulted handles the rest explicitly.
+func Defaulted(m Mode) string {
+	switch m {
+	case ModeOn:
+		return "on"
+	default:
+		return "other"
+	}
+}
+
+// Classify covers every vmx exit reason except ExitPreemptionTimer — the
+// exact hole DVH virtual timers depend on being handled.
+func Classify(r vmx.ExitReason) int {
+	switch r { // want "misses ExitPreemptionTimer and has no default"
+	case vmx.ExitExceptionNMI, vmx.ExitExternalInterrupt, vmx.ExitInterruptWindow,
+		vmx.ExitCPUID, vmx.ExitHLT, vmx.ExitVMCALL, vmx.ExitVMCLEAR,
+		vmx.ExitVMLAUNCH, vmx.ExitVMPTRLD, vmx.ExitVMPTRST, vmx.ExitVMREAD,
+		vmx.ExitVMRESUME, vmx.ExitVMWRITE, vmx.ExitVMXOFF, vmx.ExitVMXON,
+		vmx.ExitCRAccess, vmx.ExitIOInstruction, vmx.ExitMSRRead,
+		vmx.ExitMSRWrite, vmx.ExitAPICAccess, vmx.ExitEPTViolation,
+		vmx.ExitEPTMisconfig, vmx.ExitINVEPT, vmx.ExitINVVPID:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+// Package hotalloc exercises the hot-path allocation rule. The golden test
+// configures Execute as the hot root; everything reachable from it must be
+// allocation-free, with //nvlint:cold pruning first-touch helpers and error
+// construction inside return statements exempt by design.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	head int
+}
+
+// Execute is the hot root (wired by the golden test's Config.HotRoots).
+func Execute(r *ring, v int) (int, error) {
+	if v < 0 {
+		// Exempt: error construction on the bail-out path.
+		return 0, fmt.Errorf("hotalloc: negative value %d", v)
+	}
+	n := 0
+	defer func() { n++ }() // want "closure captures variables"
+	r.push(v)
+	c := r.clone()
+	return c.pop() + n, nil
+}
+
+func (r *ring) push(v int) {
+	if r.buf == nil {
+		r.refill()
+	}
+	record(v)                // want "argument boxed into interface parameter"
+	r.buf = append(r.buf, v) // want "append may grow its backing array"
+}
+
+func (r *ring) pop() int {
+	s := make([]int, 1) // want "make allocates"
+	s[0] = r.buf[r.head]
+	return s[0]
+}
+
+func (r *ring) clone() *ring {
+	c := &ring{buf: r.buf} // want "composite literal escapes to the heap"
+	return c
+}
+
+// record swallows a value through an interface parameter, boxing it.
+func record(v any) { _ = v }
+
+// refill allocates its backing store on first touch; //nvlint:cold prunes it
+// from the hot walk, matching the engine's lazy-init helpers.
+//
+//nvlint:cold
+func (r *ring) refill() {
+	r.buf = make([]int, 0, 64)
+}
+
+// Cold is unreachable from the hot root and may allocate freely.
+func Cold() []int {
+	return make([]int, 8)
+}

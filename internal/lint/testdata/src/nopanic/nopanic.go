@@ -1,0 +1,32 @@
+// Package nopanic exercises the panic prohibition: engine code must return
+// errors, with //nvlint:ignore reserved for documented true invariants.
+package nopanic
+
+import "errors"
+
+var errBad = errors.New("bad input")
+
+// Explode crashes the whole simulation on bad input.
+func Explode(ok bool) error {
+	if !ok {
+		panic("boom") // want "panic in engine code"
+	}
+	return nil
+}
+
+// Fine reports the failure as an error instead.
+func Fine(ok bool) error {
+	if !ok {
+		return errBad
+	}
+	return nil
+}
+
+// MustPositive shows the justified-invariant escape hatch.
+func MustPositive(n int) int {
+	if n <= 0 {
+		//nvlint:ignore nopanic documented invariant guard for the golden test
+		panic("non-positive")
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+// Package opbyvalue exercises the by-value contract: the configured type Op
+// must never have its address taken or be declared behind a pointer.
+package opbyvalue
+
+// Op mirrors the engine's exit descriptor; the golden test configures it as
+// a by-value type.
+type Op struct {
+	Kind int
+	Addr uint64
+}
+
+// Escape takes Op's address, re-introducing the heap escape.
+func Escape(k int) int {
+	op := Op{Kind: k}
+	p := &op // want "address of opbyvalue.Op taken"
+	return p.Kind
+}
+
+// holder smuggles a pointer to Op into a struct field.
+type holder struct {
+	op *Op // want "pointer to opbyvalue.Op declared"
+}
+
+// Deref declares a *Op parameter.
+func Deref(p *Op) int { // want "pointer to opbyvalue.Op declared"
+	return p.Kind
+}
+
+// ByValue is the contract-conforming shape.
+func ByValue(op Op) int {
+	return op.Kind
+}
+
+var _ = holder{}

@@ -165,17 +165,19 @@ func New(cfg Config) (*Machine, error) {
 func MustNew(cfg Config) *Machine {
 	m, err := New(cfg)
 	if err != nil {
+		//nvlint:ignore nopanic documented Must helper; callers assert known-good configs
 		panic(err)
 	}
 	return m
 }
 
-// CPU returns physical CPU i.
-func (m *Machine) CPU(i int) *PCPU {
+// CPU returns physical CPU i, or an error when the index is outside the
+// machine's topology (a corrupted pin or a stale vCPU placement).
+func (m *Machine) CPU(i int) (*PCPU, error) {
 	if i < 0 || i >= len(m.CPUs) {
-		panic(fmt.Sprintf("machine %s: CPU %d out of range", m.Name, i))
+		return nil, fmt.Errorf("machine %s: CPU %d out of range (0..%d)", m.Name, i, len(m.CPUs)-1)
 	}
-	return m.CPUs[i]
+	return m.CPUs[i], nil
 }
 
 // CreateVFs provisions n SR-IOV virtual functions on the physical NIC.

@@ -31,7 +31,11 @@ func TestNewMachine(t *testing.T) {
 	if len(m.CPUs) != 20 {
 		t.Fatalf("built %d CPUs", len(m.CPUs))
 	}
-	if m.CPU(3).LAPIC.ID() != 3 {
+	cpu3, err := m.CPU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu3.LAPIC.ID() != 3 {
 		t.Error("LAPIC IDs not sequential")
 	}
 	if m.IOMMU == nil || !m.IOMMU.PostedCapable() {
@@ -60,14 +64,17 @@ func TestNewValidation(t *testing.T) {
 	MustNew(Config{Name: "bad", CPUs: -1})
 }
 
-func TestCPUOutOfRangePanics(t *testing.T) {
+func TestCPUOutOfRange(t *testing.T) {
 	m := MustNew(Config{Name: "m", CPUs: 2, MemoryBytes: 1 << 30})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("CPU(99) should panic")
-		}
-	}()
-	m.CPU(99)
+	if _, err := m.CPU(99); err == nil {
+		t.Fatal("CPU(99) should return an error")
+	}
+	if _, err := m.CPU(-1); err == nil {
+		t.Fatal("CPU(-1) should return an error")
+	}
+	if cpu, err := m.CPU(1); err != nil || cpu == nil {
+		t.Fatalf("CPU(1) should succeed, got %v, %v", cpu, err)
+	}
 }
 
 func TestNoIOMMUWithoutCap(t *testing.T) {

@@ -72,6 +72,9 @@ func (as *AddressSpace) page(p PFN, allocate bool) (*[PageSize]byte, error) {
 	}
 	pg := as.pages[p]
 	if pg == nil && allocate {
+		// Sparse backing store: a frame materializes on first write only.
+		// Hot read paths pass allocate=false and can never reach this.
+		//nvlint:ignore hotalloc first-touch frame materialization; steady-state reads and rewrites hit the cached frame
 		pg = new([PageSize]byte)
 		as.pages[p] = pg
 	}

@@ -147,6 +147,7 @@ func (c *ConfigSpace) ClearCommand(bits uint16) {
 // out-of-range index is a true invariant violation and panics.
 func (c *ConfigSpace) SetBAR(i int, addr uint32) {
 	if i < 0 || i > 5 {
+		//nvlint:ignore nopanic BAR numbers are compile-time device properties, never data-driven
 		panic("pci: BAR index out of range")
 	}
 	c.WriteU32(offBAR0+4*i, addr)
@@ -156,6 +157,7 @@ func (c *ConfigSpace) SetBAR(i int, addr uint32) {
 // programming error, not a reachable configuration, and panics.
 func (c *ConfigSpace) BAR(i int) uint32 {
 	if i < 0 || i > 5 {
+		//nvlint:ignore nopanic BAR numbers are compile-time device properties, never data-driven
 		panic("pci: BAR index out of range")
 	}
 	return c.ReadU32(offBAR0 + 4*i)

@@ -41,8 +41,10 @@ const (
 // capability merely connects to.
 type MigrationOps interface {
 	// CaptureState serializes the device state in the host's own format; the
-	// guest hypervisor treats it as opaque bytes.
-	CaptureState() []byte
+	// guest hypervisor treats it as opaque bytes. A failure surfaces to the
+	// guest as a failed CTRL write (the capture bit never self-clears into a
+	// completed status).
+	CaptureState() ([]byte, error)
 	// SetDirtyLogging turns DMA dirty-page logging on or off.
 	SetDirtyLogging(enable bool)
 }
@@ -91,7 +93,11 @@ func (m *MigrationCap) GuestWriteCtrl(v uint16) error {
 		status &^= MigStatusLogging
 	}
 	if v&MigCtrlCapture != 0 {
-		m.state = m.ops.CaptureState()
+		state, err := m.ops.CaptureState()
+		if err != nil {
+			return fmt.Errorf("pci: capturing state of %s: %w", m.fn.Name, err)
+		}
+		m.state = state
 		cfg.WriteU32(m.off+migOffStateSz, uint32(len(m.state)))
 		status |= MigStatusCaptured
 	}

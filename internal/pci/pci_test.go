@@ -1,6 +1,7 @@
 package pci
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -232,9 +233,9 @@ type fakeOps struct {
 	captures int
 }
 
-func (f *fakeOps) CaptureState() []byte {
+func (f *fakeOps) CaptureState() ([]byte, error) {
 	f.captures++
-	return []byte("device-state-blob")
+	return []byte("device-state-blob"), nil
 }
 func (f *fakeOps) SetDirtyLogging(e bool) { f.logging = e }
 
@@ -294,6 +295,32 @@ func TestMigrationCapability(t *testing.T) {
 	})
 	if err != nil || string(restored) != "device-state-blob" {
 		t.Fatalf("restore failed: %v %q", err, restored)
+	}
+}
+
+type failingOps struct{}
+
+func (failingOps) CaptureState() ([]byte, error) {
+	return nil, fmt.Errorf("encoder wedged")
+}
+func (failingOps) SetDirtyLogging(bool) {}
+
+func TestMigrationCaptureFailureIsError(t *testing.T) {
+	// A device whose state capture fails must surface the failure to the
+	// guest's CTRL write (it used to panic inside the capability).
+	fn := NewFunction("flaky", Address{0, 5, 0}, 1, 2, 3)
+	cap, err := AddMigrationCap(fn, failingOps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cap.GuestWriteCtrl(MigCtrlCapture); err == nil {
+		t.Fatal("failed capture must error the CTRL write")
+	}
+	if cap.GuestReadStatus()&MigStatusCaptured != 0 {
+		t.Fatal("status claims a capture that failed")
+	}
+	if cap.CapturedState() != nil {
+		t.Fatal("failed capture left state behind")
 	}
 }
 

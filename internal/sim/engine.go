@@ -91,9 +91,11 @@ func (e *Engine) Schedule(delay Cycles, fn Event) EventID {
 // is a programming error and panics.
 func (e *Engine) ScheduleAt(t Time, fn Event) EventID {
 	if fn == nil {
+		//nvlint:ignore nopanic simulation-kernel invariant; a nil event means the caller is broken, not the run
 		panic("sim: ScheduleAt with nil event")
 	}
 	if t < e.clock.Now() {
+		//nvlint:ignore nopanic simulation-kernel invariant; scheduling into the past would corrupt the timeline
 		panic(fmt.Sprintf("sim: event scheduled in the past: %d < %d", t, e.clock.Now()))
 	}
 	e.nextSeq++

@@ -49,6 +49,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//nvlint:ignore nopanic mirrors math/rand.Intn's contract; a non-positive bound is caller corruption
 		panic("sim: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))

@@ -87,6 +87,7 @@ func (c *Clock) Advance(d Cycles) Time {
 // error in the simulation kernel and panics.
 func (c *Clock) AdvanceTo(t Time) {
 	if t < c.now {
+		//nvlint:ignore nopanic simulation-kernel invariant; a backwards clock invalidates every measurement
 		panic(fmt.Sprintf("sim: clock moved backwards: %d -> %d", c.now, t))
 	}
 	c.now = t

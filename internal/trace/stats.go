@@ -77,6 +77,7 @@ func (s *Stats) ChargeGuest(c sim.Cycles) { s.GuestCycles += c }
 // Inc bumps a named counter (device kicks, pages dirtied, pre-copy rounds…).
 func (s *Stats) Inc(name string, delta uint64) {
 	if s.counters == nil {
+		//nvlint:ignore hotalloc lazy one-time map init; every later bump reuses it
 		s.counters = make(map[string]uint64)
 	}
 	s.counters[name] += delta
@@ -162,8 +163,10 @@ func (s *Stats) Merge(other *Stats) {
 		s.LevelCycles[l] += other.LevelCycles[l]
 	}
 	s.GuestCycles += other.GuestCycles
-	for n, v := range other.counters {
-		s.Inc(n, v)
+	// Iterate the sorted names so merged state is built identically on every
+	// run (counter addition commutes, but map allocation order would not).
+	for _, n := range other.CounterNames() {
+		s.Inc(n, other.counters[n])
 	}
 }
 

@@ -131,8 +131,9 @@ func (r ExitReason) IsVMXInstruction() bool {
 	case ExitVMCLEAR, ExitVMLAUNCH, ExitVMPTRLD, ExitVMPTRST, ExitVMREAD,
 		ExitVMRESUME, ExitVMWRITE, ExitVMXOFF, ExitVMXON, ExitINVEPT, ExitINVVPID:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // itoa is a minimal integer formatter so the hot path never imports fmt.

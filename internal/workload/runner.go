@@ -223,7 +223,11 @@ func (r *Runner) transaction(st *runState, i int) (sim.Cycles, error) {
 		}
 		res.Latency.Observe(total - txnStart)
 		st.total = total
-		r.W.Host.Machine.CPU(v.PhysCPU).Busy += total - txnStart
+		cpu, err := r.W.Host.Machine.CPU(v.PhysCPU)
+		if err != nil {
+			return 0, err
+		}
+		cpu.Busy += total - txnStart
 		return total - txnStart, nil
 	}
 }
@@ -313,6 +317,11 @@ func (r *Runner) RunFor(duration sim.Cycles) (Result, error) {
 		// Advance the timeline past this transaction, firing any events
 		// (timer expirations, wakes) that fall inside it.
 		eng.RunUntil(eng.Now() + cost)
+		// Events fired on engine callbacks have no Execute caller to return
+		// an error through; the world parks such failures for its driver.
+		if err := r.W.AsyncErr(); err != nil {
+			return Result{}, fmt.Errorf("workload %s: async failure mid-run: %w", r.P.Name, err)
+		}
 	}
 	return st.finish(n), nil
 }

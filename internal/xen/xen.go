@@ -38,6 +38,8 @@ func (Xen) HandlerScript(r vmx.ExitReason) hyper.Script {
 		s.SoftWork += 600
 	case vmx.ExitAPICAccess:
 		s.SoftWork += 500
+	default:
+		// Every other reason runs the base handler footprint unchanged.
 	}
 	return s
 }
