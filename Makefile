@@ -24,9 +24,12 @@ lint:
 	$(GO) run ./cmd/nvlint $(if $(VERBOSE),-v,)
 
 # bench runs the harness and hot-path benchmarks: Figure 7 sequential vs
-# parallel pool, and the allocation-free nested Execute path.
+# parallel pool, and the allocation-free nested Execute path. It then emits
+# BENCH_4.json, the machine-readable artifact (per-figure modeled cycles and
+# overheads plus ns/op and allocs/op for the pipeline's hot paths).
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkFigure7|BenchmarkExecuteNested' -benchmem ./internal/experiment/ ./internal/hyper/
+	$(GO) run ./cmd/nvperf -o BENCH_4.json
 
 # FUZZ_TARGETS are the native fuzz targets in internal/check; go test allows
 # only one -fuzz per invocation, so fuzz-smoke loops. FUZZTIME=100x bounds

@@ -1,0 +1,180 @@
+// Command nvperf emits the machine-readable benchmark artifact for this
+// repository (BENCH_4.json): the modeled per-figure results — Table 3 cycles
+// and the Figure 7–10 overhead matrices — together with host-side hot-path
+// measurements (ns/op, allocs/op, B/op) for the exit-transaction pipeline.
+// The modeled numbers are deterministic and comparable across machines; the
+// hot-path numbers measure the simulator itself and belong to the machine
+// that produced them.
+//
+// Usage:
+//
+//	nvperf [-o BENCH_4.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/hyper"
+)
+
+// Artifact is the BENCH_4.json schema.
+type Artifact struct {
+	Schema  string       `json:"schema"`
+	Figures []FigureData `json:"figures"`
+	HotPath []HotBench   `json:"hot_path"`
+}
+
+// FigureData is one table or figure: Table 3 carries cycle rows, the
+// application figures carry overhead bars.
+type FigureData struct {
+	Name   string     `json:"name"`
+	Cycles []CycleRow `json:"cycles,omitempty"`
+	Bars   []Overhead `json:"bars,omitempty"`
+}
+
+// CycleRow is one Table 3 microbenchmark row, in modeled CPU cycles.
+type CycleRow struct {
+	Name    string `json:"name"`
+	VM      int64  `json:"vm"`
+	Nested  int64  `json:"nested"`
+	NestedD int64  `json:"nested_dvh"`
+	L3      int64  `json:"l3"`
+	L3D     int64  `json:"l3_dvh"`
+}
+
+// Overhead is one application-figure bar (1.0 = native speed).
+type Overhead struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Overhead float64 `json:"overhead"`
+}
+
+// HotBench is one host-side measurement of the simulator's exit path.
+type HotBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_4.json", "output path for the benchmark artifact")
+	flag.Parse()
+
+	a := Artifact{Schema: "nvperf/bench-v1"}
+	if err := collectFigures(&a); err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(1)
+	}
+	if err := collectHotPath(&a); err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("nvperf: wrote %s (%d figures, %d hot-path benchmarks)\n", *out, len(a.Figures), len(a.HotPath))
+}
+
+// collectFigures runs the deterministic evaluation matrix.
+func collectFigures(a *Artifact) error {
+	rows, err := experiment.Table3()
+	if err != nil {
+		return err
+	}
+	t3 := FigureData{Name: "table3"}
+	for _, r := range rows {
+		t3.Cycles = append(t3.Cycles, CycleRow{
+			Name: r.Name, VM: int64(r.VM), Nested: int64(r.Nested),
+			NestedD: int64(r.NestedD), L3: int64(r.L3), L3D: int64(r.L3D),
+		})
+	}
+	a.Figures = append(a.Figures, t3)
+
+	apps := []struct {
+		name string
+		run  func() ([]experiment.AppResult, error)
+	}{
+		{"figure7", experiment.Figure7},
+		{"figure8", experiment.Figure8},
+		{"figure9", experiment.Figure9},
+		{"figure10", experiment.Figure10},
+	}
+	for _, f := range apps {
+		results, err := f.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		fd := FigureData{Name: f.name}
+		for _, r := range results {
+			fd.Bars = append(fd.Bars, Overhead{Workload: r.Workload, Config: r.Config, Overhead: r.Overhead})
+		}
+		a.Figures = append(a.Figures, fd)
+	}
+	return nil
+}
+
+// collectHotPath benchmarks the pipeline's representative outcomes on this
+// host: single-level host emulation, the full L2/L3 forwarding recursion,
+// and an interceptor-claimed exit (DVH doorbell). Each case drives
+// World.Execute through a prebuilt stack, so allocs/op is the pipeline's own
+// allocation count — the number the 0 allocs/op contract pins.
+func collectHotPath(a *Artifact) error {
+	cases := []struct {
+		name string
+		spec experiment.Spec
+		op   func(st *experiment.Stack) hyper.Op
+	}{
+		{"execute/L1-hypercall", experiment.Spec{Depth: 1, IO: experiment.IOParavirt},
+			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L2-hypercall-forwarded", experiment.Spec{Depth: 2, IO: experiment.IOParavirt},
+			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L3-hypercall-forwarded", experiment.Spec{Depth: 3, IO: experiment.IOParavirt},
+			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L2-doorbell-intercepted", experiment.Spec{Depth: 2, IO: experiment.IODVH},
+			func(st *experiment.Stack) hyper.Op { return hyper.DevNotify(st.Net.Doorbell) }},
+	}
+	for _, tc := range cases {
+		st, err := experiment.Build(tc.spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		v := st.Target.VCPUs[0]
+		op := tc.op(st)
+		var execErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.World.Execute(v, op); err != nil {
+					execErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if execErr != nil {
+			return fmt.Errorf("%s: %w", tc.name, execErr)
+		}
+		a.HotPath = append(a.HotPath, HotBench{
+			Name:        tc.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Ops:         r.N,
+		})
+	}
+	return nil
+}

@@ -80,9 +80,14 @@ type DVH struct {
 	disabled map[*hyper.Hypervisor]Features
 }
 
+// InterceptPriority is DVH's slot in the world's interceptor chain. DVH is
+// the baseline direct-handling backend: enlightenment interceptors that want
+// to claim an exit class before DVH register below 100, backstops above.
+const InterceptPriority = 100
+
 // Enable activates DVH on a world: the host advertises the DVH capability
-// bits as if they were hardware features and installs itself as the world's
-// nested-exit interceptor.
+// bits as if they were hardware features and registers itself on the world's
+// nested-exit interceptor chain.
 func Enable(w *hyper.World, f Features) *DVH {
 	d := &DVH{
 		World:    w,
@@ -97,9 +102,12 @@ func Enable(w *hyper.World, f Features) *DVH {
 	if f.Has(FeatureVirtualIPIs) {
 		w.Host.Caps = w.Host.Caps.With(vmx.CapVirtualIPI)
 	}
-	w.DVH = d
+	w.RegisterInterceptor(d)
 	return d
 }
+
+// InterceptorInfo implements hyper.Interceptor.
+func (d *DVH) InterceptorInfo() (string, int) { return "dvh", InterceptPriority }
 
 // DisableAt turns features off at one guest hypervisor, as if that
 // hypervisor did not support or enable them. Because enable bits AND-combine
@@ -201,7 +209,7 @@ func (d *DVH) configureVMControls(vm *hyper.VM) {
 	}
 }
 
-// TryHandle implements hyper.DVHHost: the host inspects an exit from a
+// TryHandle implements hyper.Interceptor: the host inspects an exit from a
 // nested VM and, when the corresponding virtual hardware is enabled, handles
 // it directly (paper Figure 1b). Returned work is charged to the stats sink.
 func (d *DVH) TryHandle(w *hyper.World, v *hyper.VCPU, op hyper.Op) (bool, sim.Cycles, error) {

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenMatrix pins the full Table 3 / Figure 7–10 result matrix to
+// committed fixtures, byte for byte. The fixtures were generated before the
+// exit path was decomposed into the staged transaction pipeline, so this
+// test is the regression fence for the refactor: any drift in charging
+// order, interceptor gating or settle accounting shows up as a diff here
+// before it shows up in a reviewer's artifact run. Regenerate a fixture
+// only for a deliberate model change, never to absorb an accidental one.
+func TestGoldenMatrix(t *testing.T) {
+	cases := []struct {
+		fixture string
+		render  func() (string, error)
+	}{
+		{"table3.golden", func() (string, error) {
+			rows, err := Table3()
+			if err != nil {
+				return "", err
+			}
+			return FormatTable3(rows), nil
+		}},
+		{"figure7.golden", func() (string, error) {
+			r, err := Figure7()
+			if err != nil {
+				return "", err
+			}
+			return FormatAppResults("Figure 7: application performance (2 levels)", r), nil
+		}},
+		{"figure8.golden", func() (string, error) {
+			r, err := Figure8()
+			if err != nil {
+				return "", err
+			}
+			return FormatAppResults("Figure 8: application performance breakdown", r), nil
+		}},
+		{"figure9.golden", func() (string, error) {
+			r, err := Figure9()
+			if err != nil {
+				return "", err
+			}
+			return FormatAppResults("Figure 9: application performance in L3 VM", r), nil
+		}},
+		{"figure10.golden", func() (string, error) {
+			r, err := Figure10()
+			if err != nil {
+				return "", err
+			}
+			return FormatAppResults("Figure 10: application performance, Xen on KVM", r), nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			t.Parallel()
+			got, err := tc.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", tc.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from committed fixture %s\n got:\n%s\nwant:\n%s", tc.fixture, got, want)
+			}
+		})
+	}
+}

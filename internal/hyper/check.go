@@ -42,7 +42,7 @@ func (b Boundary) String() string {
 // operation without the engine knowing what is being checked. All methods are
 // called on the single simulation goroutine.
 //
-// Op is passed by value for the same reason DVHHost.TryHandle takes it by
+// Op is passed by value for the same reason Interceptor.TryHandle takes it by
 // value: a pointer through the interface boundary would force every Execute
 // call's op to escape, and the checked-off hot path must stay allocation-free.
 type InvariantChecker interface {

@@ -79,6 +79,21 @@ type CostModel struct {
 	// hypercall in Table 3).
 	DVHCheckWork sim.Cycles
 
+	// APICvEOICost is an EOI write absorbed by APICv register virtualization:
+	// the LAPIC updates in hardware with no exit at any level (the fast path
+	// the paper's Table 3 EOI row assumes for every configuration).
+	APICvEOICost sim.Cycles
+
+	// EnlightenedHypercallWork is the host-side work to execute a nested
+	// VM's flush-class hypercall directly under Hyper-V's direct virtual
+	// flush enlightenment (hyperv.Enlightenment): hypercall decode plus TLB
+	// shootdown bookkeeping at L0.
+	EnlightenedHypercallWork sim.Cycles
+	// EvtchnNotifyWork is the host-side work to deliver a Xen guest's
+	// event-channel IPI directly (xen.Enlightenment): pending-bitmap update
+	// plus the posted notification.
+	EvtchnNotifyWork sim.Cycles
+
 	// HLTBlockWork is host-side blocking of an idle vCPU.
 	HLTBlockWork sim.Cycles
 	// InjectPostedRunning is interrupt delivery to a running vCPU via a
@@ -122,6 +137,11 @@ func DefaultCosts() CostModel {
 		EPTFillWork:       1800,
 		TLBHitCost:        20,
 		DVHCheckWork:      250,
+
+		APICvEOICost: 50,
+
+		EnlightenedHypercallWork: 480,
+		EvtchnNotifyWork:         650,
 
 		HLTBlockWork:        800,
 		InjectPostedRunning: 300,

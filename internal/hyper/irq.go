@@ -1,0 +1,212 @@
+package hyper
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vmx"
+)
+
+// This file is the deliver stage of the pipeline: interrupt deliveries
+// (timer, device completion), inbound device data, and idle wakes. Each
+// public entry point opens its own exit transaction — the checker frames
+// stack when a delivery happens inside a larger transaction (an IPI waking
+// its destination) — and settles it at the pipeline's single settle point.
+
+// DeliverTimerIRQ delivers a fired timer interrupt to its vCPU and returns
+// the delivery cost. A level-1 VM (and, with the direct-delivery extension,
+// a nested VM under DVH virtual timers) receives it as a posted interrupt;
+// otherwise the guest hypervisor emulating the timer must run its injection
+// path first.
+func (w *World) DeliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
+	tx := w.newTx(v, Op{}, BoundaryTimerIRQ)
+	w.begin(&tx)
+	cost, err := w.deliverTimerIRQ(v)
+	tx.add(StageDeliver, cost)
+	return w.settle(&tx, err)
+}
+
+func (w *World) deliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
+	c := &w.Costs
+	stats := w.Host.Machine.Stats
+	v.PID.Post(v.LAPIC.TimerVector())
+	v.PID.Sync(v.LAPIC)
+
+	direct := v.VM.Level <= 1
+	if !direct {
+		// A registered interceptor with a delivery policy (DVH virtual
+		// timers) can post the interrupt straight to the nested vCPU.
+		for _, it := range w.interceptors {
+			if policy, ok := it.(TimerDeliveryPolicy); ok && policy.DirectTimerDelivery(v) {
+				direct = true
+				stats.Inc("dvh.vtimer.direct_deliveries", 1)
+				break
+			}
+		}
+	}
+	var cost sim.Cycles
+	if direct {
+		stats.ChargeLevel(0, c.InjectPostedRunning)
+		cost = c.InjectPostedRunning
+	} else {
+		stack, err := w.stack(v)
+		if err != nil {
+			return 0, err
+		}
+		injector := v.VM.Level - 1
+		cost = w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
+	}
+	wake, err := w.WakeIfIdle(v)
+	if err != nil {
+		return 0, err
+	}
+	return cost + wake, nil
+}
+
+// WakeIfIdle transitions an idle vCPU back to running and returns the wake
+// cost. The notification (a posted interrupt) is always processed by the
+// host, which unblocks the destination; each guest hypervisor level that had
+// parked the vCPU then runs its scheduler and re-enters the guest. The big
+// idle penalty of nested virtualization is paid on the way *into* idle (the
+// forwarded HLT exit), which is exactly what DVH virtual idle removes.
+func (w *World) WakeIfIdle(dest *VCPU) (sim.Cycles, error) {
+	tx := w.newTx(dest, Op{}, BoundaryWake)
+	w.begin(&tx)
+	cost, err := w.wakeIfIdle(dest)
+	tx.add(StageDeliver, cost)
+	return w.settle(&tx, err)
+}
+
+func (w *World) wakeIfIdle(dest *VCPU) (sim.Cycles, error) {
+	if !dest.Idle {
+		return 0, nil
+	}
+	dest.Idle = false
+	c := &w.Costs
+	stats := w.Host.Machine.Stats
+	stats.Inc("idle.wakes", 1)
+
+	idleOwner := w.ownerLevel(dest, Op{Kind: OpHLT})
+	stats.ChargeLevel(0, c.WakeWork)
+	cost := c.WakeWork
+	for j := 1; j <= idleOwner; j++ {
+		stats.ChargeLevel(j, c.GuestWakeWork)
+		cost += c.GuestWakeWork
+	}
+	return cost, nil
+}
+
+// DeliverDeviceIRQ models a completion interrupt from a device to the vCPU
+// that owns its queue, returning the delivery cost. Posted-capable paths
+// deliver without an exit; otherwise the interrupt must be injected by the
+// hypervisor level that interposes on it.
+func (w *World) DeliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	tx := w.newTx(target, Op{}, BoundaryDeviceIRQ)
+	w.begin(&tx)
+	cost, err := w.deliverDeviceIRQ(dev, target)
+	tx.add(StageDeliver, cost)
+	return w.settle(&tx, err)
+}
+
+func (w *World) deliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	c := &w.Costs
+	stats := w.Host.Machine.Stats
+	target.LAPIC.Deliver(dev.IRQ)
+	stats.Inc("irq.delivered", 1)
+
+	wake, err := w.WakeIfIdle(target)
+	if err != nil {
+		return 0, err
+	}
+	if dev.PostedDelivery {
+		stats.ChargeLevel(0, c.InjectPostedRunning)
+		return c.InjectPostedRunning + wake, nil
+	}
+	// Exit-based injection: the hypervisor that interposes on the interrupt
+	// must run its (short) injection path. For a virtual-passthrough device
+	// whose vIOMMU lacks posting, that is the guest hypervisor owning the
+	// vIOMMU (level n-1).
+	injector := target.VM.Level - 1
+	if injector <= 0 {
+		stats.ChargeLevel(0, c.InjectExitPath)
+		return c.InjectExitPath + wake, nil
+	}
+	stack, err := w.stack(target)
+	if err != nil {
+		return 0, err
+	}
+	inj := w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
+	return inj + wake, nil
+}
+
+// guestPath charges an exit into the hypervisor at the given level that runs
+// the supplied script there (reflecting through intermediate levels), without
+// any owner side effects — the building block for injection and receive-path
+// interpositions.
+func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int, s Script) sim.Cycles {
+	c := &w.Costs
+	stats := w.Host.Machine.Stats
+	stats.RecordHardwareExit(reason)
+	stats.RecordHandledExit(reason, level)
+	w.Tracer.Record(reason, level+1, level)
+	cost := c.HwExit + c.ReflectWork + c.HwEntry
+	stats.ChargeLevel(0, cost)
+	for j := 1; j < level; j++ {
+		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
+	}
+	cost += w.runScript(stack, level, s)
+	return cost
+}
+
+// DeviceRX models inbound data arriving for a device: every interposing
+// virtio backend processes and relays the data upward — the receive half of
+// the paravirtual cascade — and the completion interrupt is then delivered
+// to the target vCPU. For passthrough the data lands in VM memory directly;
+// for virtual-passthrough only the host backend runs.
+func (w *World) DeviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	tx := w.newTx(target, Op{}, BoundaryDeviceRX)
+	w.begin(&tx)
+	cost, err := w.deviceRX(dev, target)
+	tx.add(StageDeliver, cost)
+	return w.settle(&tx, err)
+}
+
+func (w *World) deviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
+	c := &w.Costs
+	stats := w.Host.Machine.Stats
+	var cost sim.Cycles
+	w.Host.Machine.NIC.RxFrames++
+
+	if dev.Phys == nil {
+		// The host backend (vhost) receives from the wire.
+		stats.ChargeLevel(0, c.VirtioBackendWork)
+		cost += c.VirtioBackendWork
+		if dev.ProviderLevel >= 1 {
+			stack, err := w.stack(target)
+			if err != nil {
+				return 0, err
+			}
+			// Each interposing hypervisor's backend runs its receive path
+			// and re-queues the data into the next level's ring.
+			for j := 1; j <= dev.ProviderLevel; j++ {
+				cost += w.guestPath(stack, vmx.ExitEPTViolation, j, stack[j].Personality.HandlerScript(vmx.ExitEPTViolation))
+				stats.ChargeLevel(j, c.VirtioBackendWork)
+				cost += c.VirtioBackendWork
+			}
+		}
+	}
+	del, err := w.DeliverDeviceIRQ(dev, target)
+	if err != nil {
+		return 0, err
+	}
+	return cost + del, nil
+}
+
+// ipiDestination resolves an ICR destination to a vCPU of the sender's VM.
+func (w *World) ipiDestination(v *VCPU, op Op) (*VCPU, error) {
+	id := int(op.ICR.Dest())
+	if id < 0 || id >= len(v.VM.VCPUs) {
+		return nil, fmt.Errorf("hyper: IPI from %s to missing vCPU %d", v.Path(), id)
+	}
+	return v.VM.VCPUs[id], nil
+}

@@ -1,0 +1,51 @@
+package hyper
+
+import "repro/internal/sim"
+
+// This file holds the timer plumbing behind the pipeline: hrtimer arming for
+// host-emulated and DVH virtual timers, and the delivery-policy extension an
+// interceptor can implement to post fired timers straight to nested vCPUs.
+
+// TimerDeliveryPolicy is an optional extension of Interceptor: when a
+// registered interceptor implements it, fired virtual-timer interrupts can be
+// posted straight to the nested vCPU instead of being injected through its
+// guest hypervisor — the further optimization Section 3.2 of the paper
+// describes (the only extra information needed is the vector the nested VM
+// programmed, which the LAPIC model holds).
+type TimerDeliveryPolicy interface {
+	DirectTimerDelivery(v *VCPU) bool
+}
+
+// armHostTimer schedules the hrtimer backing a LAPIC deadline, firing the
+// timer interrupt into the vCPU when simulated time reaches it. Timer
+// programming schedules engine events and is excluded from the steady-state
+// allocation contract (OpTimerProgram is not a steady op in alloc_test.go).
+//
+//nvlint:cold
+func (w *World) armHostTimer(v *VCPU, deadline uint64) {
+	eng := w.Host.Machine.Engine
+	when := sim.Time(deadline)
+	if when < eng.Now() {
+		when = eng.Now()
+	}
+	eng.ScheduleAt(when, func(*sim.Engine) {
+		if v.LAPIC.FireTimer() {
+			if _, err := w.DeliverTimerIRQ(v); err != nil {
+				// No Execute caller exists on an engine callback; park the
+				// failure where the run's driver must look for it.
+				w.setAsyncErr(err)
+			}
+		}
+	})
+}
+
+// ArmVirtualTimer schedules the host hrtimer backing a DVH virtual timer for
+// a nested vCPU; firing and wake behavior match the host's own timers. The
+// deadline is in host TSC units — the guest deadline plus the combined
+// TSC-offset chain.
+func (w *World) ArmVirtualTimer(v *VCPU, deadline uint64) {
+	if w.Check != nil {
+		w.Check.TimerArmed(w, v, deadline)
+	}
+	w.armHostTimer(v, deadline)
+}

@@ -3,35 +3,26 @@ package hyper
 import (
 	"fmt"
 
-	"repro/internal/mem"
-	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/vmx"
 )
 
-// DVHHost is the hook through which the DVH layer (package core) lets the
-// host hypervisor claim exits from nested VMs before they are forwarded to
-// guest hypervisors. TryHandle performs the emulation effects, charges its
-// own work to the stats sink, and returns that work so the caller can wrap
-// it in the fixed exit/dispatch/entry costs.
-// Op is passed by value: TryHandle never mutates it, and a pointer would
-// force every Execute call's op to escape to the heap through the interface
-// boundary — the steady-state exit path is kept allocation-free.
-type DVHHost interface {
-	TryHandle(w *World, v *VCPU, op Op) (handled bool, work sim.Cycles, err error)
-}
-
-// World binds a host hypervisor, its cost model and the optional DVH layer
-// into the execution engine guest operations run through.
+// World binds a host hypervisor, its cost model and the registered
+// direct-handling interceptors into the execution engine guest operations
+// run through. The engine itself is the exit-transaction pipeline
+// (pipeline.go): dispatch stages live in dispatch.go, interrupt delivery in
+// irq.go, timer plumbing in timer.go and virtio backends in backend.go.
 //
 // Accounting discipline: every method charges to the stats sink exactly the
 // cycles it adds and returns their sum, so a caller's total always equals
-// what was recorded.
+// what was recorded. The pipeline's settle point is where the invariant
+// checker verifies that promise per boundary.
 type World struct {
 	Host  *Hypervisor
 	Costs CostModel
-	// DVH, when non-nil, is consulted on every exit from a VM at level >= 2.
-	DVH DVHHost
+	// interceptors is the registered direct-handling chain, sorted by
+	// (priority, name); consulted on every exit from a VM at level >= 2.
+	// See RegisterInterceptor.
+	interceptors []Interceptor
 	// Tracer, when non-nil, records every hardware exit for timeline
 	// inspection (cmd/nvtrace). A nil recorder costs nothing.
 	Tracer *trace.Recorder
@@ -61,31 +52,9 @@ func NewWorld(host *Hypervisor) *World {
 	return &World{Host: host, Costs: DefaultCosts()}
 }
 
-// reasonFor maps an operation to its VM-exit reason.
-func reasonFor(op Op) vmx.ExitReason {
-	switch op.Kind {
-	case OpHypercall:
-		return vmx.ExitVMCALL
-	case OpDevNotify:
-		return vmx.ExitEPTViolation
-	case OpTimerProgram:
-		return vmx.ExitMSRWrite
-	case OpSendIPI:
-		return vmx.ExitAPICAccess
-	case OpHLT:
-		return vmx.ExitHLT
-	case OpEOI:
-		return vmx.ExitAPICAccess
-	case OpMemTouch:
-		return vmx.ExitEPTViolation
-	default:
-		return vmx.ExitExceptionNMI
-	}
-}
-
 // stack returns the hypervisor at each level beneath v: stack[0] is the
 // host, stack[k] the guest hypervisor at level k, up to v.VM.Level-1.
-// The result is cached on the vCPU — Execute consults it on every exit —
+// The result is cached on the vCPU — the pipeline consults it on every exit —
 // and rebuilt when the machine's topology generation moves (VM creation or
 // destruction, hypervisor installation, repinning). Callers must not hold
 // the slice across topology changes.
@@ -109,701 +78,4 @@ func (w *World) stack(v *VCPU) ([]*Hypervisor, error) {
 	}
 	v.stackCache, v.stackGen = s, gen
 	return s, nil
-}
-
-// Execute runs one guest operation issued by vCPU v and returns its cost in
-// cycles. State effects (timer arming, IPI posting, ring processing, idle
-// transitions) are applied along the way. Execute is the simulator's
-// equivalent of "the guest executed a trapping instruction".
-func (w *World) Execute(v *VCPU, op Op) (sim.Cycles, error) {
-	if w.Check == nil {
-		return w.execute(v, op)
-	}
-	tok := w.Check.Begin(w, v, BoundaryExecute, op)
-	cost, err := w.execute(v, op)
-	w.Check.End(tok, w, v, BoundaryExecute, op, cost, err)
-	return cost, err
-}
-
-func (w *World) execute(v *VCPU, op Op) (sim.Cycles, error) {
-	stats := w.Host.Machine.Stats
-	c := &w.Costs
-
-	// Paths that never exit.
-	switch op.Kind {
-	case OpMemTouch:
-		if _, miss := w.faultOwner(v, op.Addr); !miss {
-			stats.ChargeGuest(c.TLBHitCost)
-			return c.TLBHitCost, nil
-		}
-	case OpDevNotify:
-		dev := v.VM.FindDeviceByDoorbell(op.Addr)
-		if dev == nil {
-			return 0, fmt.Errorf("hyper: %s: doorbell write to unmapped %#x", v.Path(), uint64(op.Addr))
-		}
-		if dev.Phys != nil {
-			// Device passthrough: the doorbell is EPT-mapped to the physical
-			// device; a posted write, no exit at any level.
-			stats.Inc("passthrough.kicks", 1)
-			w.Host.Machine.NIC.TxFrames++
-			stats.ChargeGuest(c.MMIODirect)
-			return c.MMIODirect, nil
-		}
-	case OpEOI:
-		// APICv register virtualization absorbs EOI writes.
-		if v.VMCS.ControlSet(vmx.FieldProcBasedControls2, vmx.Proc2APICRegisterVirt) {
-			v.LAPIC.EOI()
-			stats.ChargeGuest(50)
-			return 50, nil
-		}
-	default:
-		// Intentionally partial: only these kinds have exit-free fast paths;
-		// every other kind always exits below.
-	}
-
-	reason := reasonFor(op)
-	stats.RecordHardwareExit(reason)
-	cost := c.HwExit
-	stats.ChargeLevel(0, c.HwExit)
-
-	stack, err := w.stack(v)
-	if err != nil {
-		return 0, err
-	}
-
-	// DVH: the host may handle a nested VM's exit directly (Figure 1b).
-	if v.VM.Level >= 2 && w.DVH != nil {
-		handled, work, err := w.DVH.TryHandle(w, v, op)
-		if err != nil {
-			return 0, err
-		}
-		if handled {
-			stats.RecordHandledExit(reason, 0)
-			w.Tracer.Record(reason, v.VM.Level, 0)
-			stats.ChargeLevel(0, c.HostDispatch+c.HwEntry)
-			return cost + c.HostDispatch + work + c.HwEntry, nil
-		}
-		// The host inspected the exit but must still forward it.
-		cost += c.DVHCheckWork
-		stats.ChargeLevel(0, c.DVHCheckWork)
-	}
-
-	owner := w.ownerLevel(v, op)
-	w.Tracer.Record(reason, v.VM.Level, owner)
-	if owner == 0 {
-		stats.RecordHandledExit(reason, 0)
-		stats.ChargeLevel(0, c.HostDispatch+c.HwEntry)
-		work, err := w.hostHandle(v, op)
-		if err != nil {
-			return 0, err
-		}
-		return cost + c.HostDispatch + work + c.HwEntry, nil
-	}
-
-	stats.RecordHandledExit(reason, owner)
-	fwd, err := w.forward(v, stack, reason, op, owner)
-	if err != nil {
-		return 0, err
-	}
-	return cost + fwd, nil
-}
-
-// ownerLevel decides which hypervisor level must handle the exit.
-func (w *World) ownerLevel(v *VCPU, op Op) int {
-	n := v.VM.Level
-	switch op.Kind {
-	case OpHypercall, OpTimerProgram, OpSendIPI, OpEOI:
-		return n - 1
-	case OpHLT:
-		// The innermost hypervisor that traps HLT for its guest owns the
-		// exit; with DVH virtual idle, guest hypervisors clear the control
-		// so ownership falls through to the host.
-		for a := v; a != nil; a = a.Parent {
-			if a.VMCS.ControlSet(vmx.FieldProcBasedControls, vmx.ProcHLTExiting) {
-				return a.VM.Level - 1
-			}
-		}
-		return 0
-	case OpDevNotify:
-		dev := v.VM.FindDeviceByDoorbell(op.Addr)
-		if dev == nil {
-			return n - 1
-		}
-		return dev.ProviderLevel
-	case OpMemTouch:
-		owner, miss := w.faultOwner(v, op.Addr)
-		if !miss {
-			return 0
-		}
-		return owner
-	}
-	return n - 1
-}
-
-// faultOwner walks the EPT chain for a memory access, returning the level of
-// the hypervisor whose table misses first (the innermost miss) and whether
-// any level missed at all. On hardware with nested EPT the fault is
-// delivered to exactly that hypervisor.
-func (w *World) faultOwner(v *VCPU, a mem.Addr) (int, bool) {
-	cur := v.VM
-	addr := a
-	for cur != nil {
-		wlk := cur.EPT.Lookup(mem.PageOf(addr), mem.PermRead)
-		if !wlk.Present {
-			return cur.Level - 1, true
-		}
-		addr = wlk.PFN.Base() + (addr & (mem.PageSize - 1))
-		cur = cur.Owner.HostVM
-	}
-	return 0, false
-}
-
-// fillFault installs the missing translation at the faulting level — the
-// handler's core work at whichever hypervisor took the fault. Filling an EPT
-// fault legitimately allocates page-table nodes, which is why OpMemTouch is
-// excluded from the steady-state allocation contract (see alloc_test.go).
-//
-//nvlint:cold
-func (w *World) fillFault(v *VCPU, a mem.Addr, owner int) error {
-	cur := v.VM
-	addr := a
-	for cur != nil && cur.Level > owner+1 {
-		wlk := cur.EPT.Lookup(mem.PageOf(addr), mem.PermRead)
-		if !wlk.Present {
-			return fmt.Errorf("hyper: fault at level %d but mapping missing at %s", owner, cur.Name)
-		}
-		addr = wlk.PFN.Base() + (addr & (mem.PageSize - 1))
-		cur = cur.Owner.HostVM
-	}
-	if cur == nil {
-		return fmt.Errorf("hyper: fault owner %d beyond chain", owner)
-	}
-	_, err := cur.EnsureMapped(mem.PageOf(addr))
-	return err
-}
-
-// forward reflects an exit from v up to the owning guest hypervisor: the
-// host injects a virtual exit into L1; levels below the owner re-reflect;
-// the owner runs its handler (whose privileged ops recursively trap); and
-// the unwind back into the nested VM rides on the Resume emulation chain.
-func (w *World) forward(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, op Op, owner int) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-
-	cost := c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, c.ReflectWork+c.HwEntry)
-
-	// Intermediate levels re-reflect toward the owner.
-	for j := 1; j < owner; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
-	}
-	// The owner's handler.
-	cost += w.runScript(stack, owner, stack[owner].Personality.HandlerScript(reason))
-
-	// Handler side effects at the owner.
-	eff, err := w.ownerEffects(v, op, owner)
-	if err != nil {
-		return 0, err
-	}
-	return cost + eff, nil
-}
-
-// runScript charges the cost of a hypervisor code path executed at the given
-// level. At level 1 with VMCS shadowing, VMREAD/VMWRITEs are satisfied in
-// hardware; at deeper levels every one of them is a trapped instruction
-// whose emulation recurses — the exit-multiplication engine.
-func (w *World) runScript(stack []*Hypervisor, level int, s Script) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	var cost sim.Cycles
-
-	if level == 0 {
-		cost = sim.Cycles(s.VMAccesses)*c.NativeVMAccess + sim.Cycles(s.PrivOps)*c.PrivEmulWork + s.SoftWork
-		if s.Resume {
-			cost += c.ResumeMergeWork + c.HwEntry
-		}
-		stats.ChargeLevel(0, cost)
-		return cost
-	}
-
-	if s.VMAccesses > 0 {
-		if level == 1 && w.Host.Caps.Has(vmx.CapVMCSShadowing) {
-			shadow := sim.Cycles(s.VMAccesses) * c.ShadowVMAccess
-			cost += shadow
-			stats.ChargeLevel(level, shadow)
-		} else {
-			for i := 0; i < s.VMAccesses; i++ {
-				cost += w.privOp(stack, level, vmx.ExitVMREAD)
-			}
-		}
-	}
-	for i := 0; i < s.PrivOps; i++ {
-		cost += w.privOp(stack, level, vmx.ExitVMPTRLD)
-	}
-	cost += s.SoftWork
-	stats.ChargeLevel(level, s.SoftWork)
-	if s.Resume {
-		cost += w.privOp(stack, level, vmx.ExitVMRESUME)
-	}
-	return cost
-}
-
-// privOp charges one privileged virtualization instruction executed by the
-// hypervisor at the given level. Level-1 instructions are emulated directly
-// by the host; deeper ones are forwarded to the level below, whose emulation
-// path is itself a script full of privileged instructions.
-func (w *World) privOp(stack []*Hypervisor, level int, reason vmx.ExitReason) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.RecordHardwareExit(reason)
-	w.Tracer.Record(reason, level, level-1)
-	cost := c.HwExit
-
-	if level == 1 {
-		stats.RecordHandledExit(reason, 0)
-		work := c.PrivEmulWork
-		if reason == vmx.ExitVMRESUME || reason == vmx.ExitVMLAUNCH {
-			work += c.ResumeMergeWork
-		}
-		cost += c.HostDispatch + work + c.HwEntry
-		stats.ChargeLevel(0, cost)
-		return cost
-	}
-
-	// Forward the emulation to the hypervisor one level below.
-	handler := level - 1
-	stats.RecordHandledExit(reason, handler)
-	cost += c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, c.HwExit+c.ReflectWork+c.HwEntry)
-	for j := 1; j < handler; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
-	}
-	cost += w.runScript(stack, handler, stack[handler].Personality.EmulScript(reason))
-	return cost
-}
-
-// execAsLevel executes an operation as if issued by the hypervisor at the
-// given level (which runs as a guest in the VM at that level). Level 0 ops
-// are native and must be charged by the caller.
-func (w *World) execAsLevel(v *VCPU, level int, op Op) (sim.Cycles, error) {
-	if level == 0 {
-		return 0, fmt.Errorf("hyper: execAsLevel(0) is native work, not an exit")
-	}
-	av, err := v.AncestorAt(level)
-	if err != nil {
-		return 0, err
-	}
-	return w.Execute(av, op)
-}
-
-// ownerEffects applies the state changes and follow-on operations of a
-// guest-hypervisor-owned exit.
-func (w *World) ownerEffects(v *VCPU, op Op, owner int) (sim.Cycles, error) {
-	stats := w.Host.Machine.Stats
-	switch op.Kind {
-	case OpHypercall, OpEOI:
-		return 0, nil
-	case OpTimerProgram:
-		// The guest hypervisor emulates the timer with its own hrtimer,
-		// which it arms by programming its (virtual) LAPIC timer — a fresh
-		// trapping operation one level down.
-		v.LAPIC.SetTSCDeadline(op.Deadline)
-		return w.execAsLevel(v, owner, ProgramTimer(op.Deadline))
-	case OpSendIPI:
-		// The guest hypervisor resolves the destination among its own vCPUs,
-		// updates the posted-interrupt descriptor, and sends the physical
-		// IPI by writing its own ICR — again a trapping operation below.
-		dest, err := w.ipiDestination(v, op)
-		if err != nil {
-			return 0, err
-		}
-		dest.PID.Post(op.ICR.Vector())
-		cost, err := w.execAsLevel(v, owner, SendIPI(uint32(dest.PhysCPU), op.ICR.Vector()))
-		if err != nil {
-			return 0, err
-		}
-		dest.PID.Sync(dest.LAPIC)
-		wake, err := w.WakeIfIdle(dest)
-		if err != nil {
-			return 0, err
-		}
-		return cost + wake, nil
-	case OpHLT:
-		// The guest hypervisor blocks the vCPU and, if it manages another
-		// runnable nested vCPU on this CPU, switches to it — the reason the
-		// virtual-idle policy keeps HLT trapped with multiple nested VMs.
-		v.Idle = true
-		stats.Inc("idle.blocks", 1)
-		stack, err := w.stack(v)
-		if err != nil {
-			return 0, err
-		}
-		if next := stack[owner].EnsureScheduler().PickNext(v.PhysCPU, v); next != nil {
-			return w.guestSwitch(stack, owner, v, next)
-		}
-		return 0, nil
-	case OpDevNotify:
-		dev := v.VM.FindDeviceByDoorbell(op.Addr)
-		if dev == nil {
-			return 0, fmt.Errorf("hyper: doorbell %#x vanished during forwarding", uint64(op.Addr))
-		}
-		return w.backendWork(v, dev, owner)
-	case OpMemTouch:
-		// The owning guest hypervisor fills its EPT level; its own memory
-		// for the new table pages may fault one level further down, which
-		// the recursion models as part of the forwarded handler cost.
-		if err := w.fillFault(v, op.Addr, owner); err != nil {
-			return 0, err
-		}
-		stats.ChargeLevel(owner, w.Costs.EPTFillWork)
-		return w.Costs.EPTFillWork, nil
-	}
-	return 0, nil
-}
-
-// backendWork runs a virtual device's backend at the level that provides it:
-// ring processing at that hypervisor's speed plus, for a cascaded device,
-// the kick of the lower device it uses to reach hardware.
-func (w *World) backendWork(v *VCPU, dev *AssignedDevice, provider int) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	cost := c.VirtioBackendWork
-	stats.ChargeLevel(provider, c.VirtioBackendWork)
-	stats.Inc("virtio.kicks", 1)
-
-	// Move real bytes when rings are wired up (examples and integration
-	// tests); workload simulations kick with empty rings and pay cost only.
-	dma := dev.DMAView
-	if dma == nil {
-		dma = dev.VM.Memory()
-	}
-	if dev.Net != nil && dev.Net.Queue(virtioTXQueue) != nil {
-		//nvlint:ignore hotalloc ring processing runs only with wired rings (examples/integration tests); workload kicks see empty rings
-		if _, err := dev.Net.Transmit(dma); err != nil {
-			return 0, err
-		}
-	}
-	if dev.Blk != nil && dev.Blk.Queue(0) != nil {
-		//nvlint:ignore hotalloc ring processing runs only with wired rings (examples/integration tests); workload kicks see empty rings
-		if _, err := dev.Blk.ProcessRequests(dma); err != nil {
-			return 0, err
-		}
-	}
-
-	if provider == 0 || dev.Lower == nil {
-		// The host backend talks to the physical device directly.
-		w.Host.Machine.NIC.TxFrames++
-		return cost, nil
-	}
-	// Cascade: the provider's backend kicks its own (lower) virtio device.
-	kick, err := w.execAsLevel(v, provider, DevNotify(dev.Lower.Doorbell))
-	if err != nil {
-		return 0, err
-	}
-	return cost + kick, nil
-}
-
-// virtioTXQueue mirrors virtio.NetTXQueue without importing it here.
-const virtioTXQueue = 1
-
-// HostBackendKick runs the host-side backend for a host-provided device on
-// behalf of the DVH layer (virtual-passthrough doorbell handling).
-func (w *World) HostBackendKick(v *VCPU, dev *AssignedDevice) (sim.Cycles, error) {
-	return w.backendWork(v, dev, 0)
-}
-
-// ipiDestination resolves an ICR destination to a vCPU of the sender's VM.
-func (w *World) ipiDestination(v *VCPU, op Op) (*VCPU, error) {
-	id := int(op.ICR.Dest())
-	if id < 0 || id >= len(v.VM.VCPUs) {
-		return nil, fmt.Errorf("hyper: IPI from %s to missing vCPU %d", v.Path(), id)
-	}
-	return v.VM.VCPUs[id], nil
-}
-
-// hostHandle performs the host hypervisor's emulation work for an exit it
-// owns, charges that work, and returns it (the fixed dispatch/entry costs
-// are charged by Execute).
-func (w *World) hostHandle(v *VCPU, op Op) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	switch op.Kind {
-	case OpHypercall:
-		return 0, nil
-	case OpTimerProgram:
-		v.LAPIC.SetTSCDeadline(op.Deadline)
-		w.armHostTimer(v, op.Deadline)
-		stats.ChargeLevel(0, c.TimerProgramWork)
-		return c.TimerProgramWork, nil
-	case OpSendIPI:
-		dest, err := w.ipiDestination(v, op)
-		if err != nil {
-			return 0, err
-		}
-		dest.PID.Post(op.ICR.Vector())
-		dest.PID.Sync(dest.LAPIC)
-		stats.ChargeLevel(0, c.IPIEmulWork)
-		wake, err := w.WakeIfIdle(dest)
-		if err != nil {
-			return 0, err
-		}
-		return c.IPIEmulWork + wake, nil
-	case OpHLT:
-		v.Idle = true
-		stats.Inc("idle.blocks", 1)
-		stats.ChargeLevel(0, c.HLTBlockWork)
-		return c.HLTBlockWork, nil
-	case OpDevNotify:
-		dev := v.VM.FindDeviceByDoorbell(op.Addr)
-		if dev == nil {
-			return 0, fmt.Errorf("hyper: doorbell %#x has no device", uint64(op.Addr))
-		}
-		return w.backendWork(v, dev, 0)
-	case OpEOI:
-		v.LAPIC.EOI()
-		return 0, nil
-	case OpMemTouch:
-		if err := w.fillFault(v, op.Addr, 0); err != nil {
-			return 0, err
-		}
-		stats.ChargeLevel(0, c.EPTFillWork)
-		return c.EPTFillWork, nil
-	}
-	return 0, fmt.Errorf("hyper: host cannot handle op %v", op.Kind)
-}
-
-// TimerDeliveryPolicy is an optional extension of DVHHost: when the DVH
-// layer implements it, fired virtual-timer interrupts can be posted straight
-// to the nested vCPU instead of being injected through its guest hypervisor
-// — the further optimization Section 3.2 of the paper describes (the only
-// extra information needed is the vector the nested VM programmed, which the
-// LAPIC model holds).
-type TimerDeliveryPolicy interface {
-	DirectTimerDelivery(v *VCPU) bool
-}
-
-// armHostTimer schedules the hrtimer backing a LAPIC deadline, firing the
-// timer interrupt into the vCPU when simulated time reaches it. Timer
-// programming schedules engine events and is excluded from the steady-state
-// allocation contract (OpTimerProgram is not a steady op in alloc_test.go).
-//
-//nvlint:cold
-func (w *World) armHostTimer(v *VCPU, deadline uint64) {
-	eng := w.Host.Machine.Engine
-	when := sim.Time(deadline)
-	if when < eng.Now() {
-		when = eng.Now()
-	}
-	eng.ScheduleAt(when, func(*sim.Engine) {
-		if v.LAPIC.FireTimer() {
-			if _, err := w.DeliverTimerIRQ(v); err != nil {
-				// No Execute caller exists on an engine callback; park the
-				// failure where the run's driver must look for it.
-				w.setAsyncErr(err)
-			}
-		}
-	})
-}
-
-// DeliverTimerIRQ delivers a fired timer interrupt to its vCPU and returns
-// the delivery cost. A level-1 VM (and, with the direct-delivery extension,
-// a nested VM under DVH virtual timers) receives it as a posted interrupt;
-// otherwise the guest hypervisor emulating the timer must run its injection
-// path first.
-func (w *World) DeliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
-	if w.Check == nil {
-		return w.deliverTimerIRQ(v)
-	}
-	tok := w.Check.Begin(w, v, BoundaryTimerIRQ, Op{})
-	cost, err := w.deliverTimerIRQ(v)
-	w.Check.End(tok, w, v, BoundaryTimerIRQ, Op{}, cost, err)
-	return cost, err
-}
-
-func (w *World) deliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	v.PID.Post(v.LAPIC.TimerVector())
-	v.PID.Sync(v.LAPIC)
-
-	direct := v.VM.Level <= 1
-	if !direct {
-		if policy, ok := w.DVH.(TimerDeliveryPolicy); ok && policy.DirectTimerDelivery(v) {
-			direct = true
-			stats.Inc("dvh.vtimer.direct_deliveries", 1)
-		}
-	}
-	var cost sim.Cycles
-	if direct {
-		stats.ChargeLevel(0, c.InjectPostedRunning)
-		cost = c.InjectPostedRunning
-	} else {
-		stack, err := w.stack(v)
-		if err != nil {
-			return 0, err
-		}
-		injector := v.VM.Level - 1
-		cost = w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
-	}
-	wake, err := w.WakeIfIdle(v)
-	if err != nil {
-		return 0, err
-	}
-	return cost + wake, nil
-}
-
-// WakeIfIdle transitions an idle vCPU back to running and returns the wake
-// cost. The notification (a posted interrupt) is always processed by the
-// host, which unblocks the destination; each guest hypervisor level that had
-// parked the vCPU then runs its scheduler and re-enters the guest. The big
-// idle penalty of nested virtualization is paid on the way *into* idle (the
-// forwarded HLT exit), which is exactly what DVH virtual idle removes.
-func (w *World) WakeIfIdle(dest *VCPU) (sim.Cycles, error) {
-	if w.Check == nil {
-		return w.wakeIfIdle(dest)
-	}
-	tok := w.Check.Begin(w, dest, BoundaryWake, Op{})
-	cost, err := w.wakeIfIdle(dest)
-	w.Check.End(tok, w, dest, BoundaryWake, Op{}, cost, err)
-	return cost, err
-}
-
-func (w *World) wakeIfIdle(dest *VCPU) (sim.Cycles, error) {
-	if !dest.Idle {
-		return 0, nil
-	}
-	dest.Idle = false
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.Inc("idle.wakes", 1)
-
-	idleOwner := w.ownerLevel(dest, Op{Kind: OpHLT})
-	stats.ChargeLevel(0, c.WakeWork)
-	cost := c.WakeWork
-	for j := 1; j <= idleOwner; j++ {
-		stats.ChargeLevel(j, c.GuestWakeWork)
-		cost += c.GuestWakeWork
-	}
-	return cost, nil
-}
-
-// DeliverDeviceIRQ models a completion interrupt from a device to the vCPU
-// that owns its queue, returning the delivery cost. Posted-capable paths
-// deliver without an exit; otherwise the interrupt must be injected by the
-// hypervisor level that interposes on it.
-func (w *World) DeliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
-	if w.Check == nil {
-		return w.deliverDeviceIRQ(dev, target)
-	}
-	tok := w.Check.Begin(w, target, BoundaryDeviceIRQ, Op{})
-	cost, err := w.deliverDeviceIRQ(dev, target)
-	w.Check.End(tok, w, target, BoundaryDeviceIRQ, Op{}, cost, err)
-	return cost, err
-}
-
-func (w *World) deliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	target.LAPIC.Deliver(dev.IRQ)
-	stats.Inc("irq.delivered", 1)
-
-	wake, err := w.WakeIfIdle(target)
-	if err != nil {
-		return 0, err
-	}
-	if dev.PostedDelivery {
-		stats.ChargeLevel(0, c.InjectPostedRunning)
-		return c.InjectPostedRunning + wake, nil
-	}
-	// Exit-based injection: the hypervisor that interposes on the interrupt
-	// must run its (short) injection path. For a virtual-passthrough device
-	// whose vIOMMU lacks posting, that is the guest hypervisor owning the
-	// vIOMMU (level n-1).
-	injector := target.VM.Level - 1
-	if injector <= 0 {
-		stats.ChargeLevel(0, c.InjectExitPath)
-		return c.InjectExitPath + wake, nil
-	}
-	stack, err := w.stack(target)
-	if err != nil {
-		return 0, err
-	}
-	inj := w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
-	return inj + wake, nil
-}
-
-// guestPath charges an exit into the hypervisor at the given level that runs
-// the supplied script there (reflecting through intermediate levels), without
-// any owner side effects — the building block for injection and receive-path
-// interpositions.
-func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int, s Script) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.RecordHardwareExit(reason)
-	stats.RecordHandledExit(reason, level)
-	w.Tracer.Record(reason, level+1, level)
-	cost := c.HwExit + c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, cost)
-	for j := 1; j < level; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
-	}
-	cost += w.runScript(stack, level, s)
-	return cost
-}
-
-// DeviceRX models inbound data arriving for a device: every interposing
-// virtio backend processes and relays the data upward — the receive half of
-// the paravirtual cascade — and the completion interrupt is then delivered
-// to the target vCPU. For passthrough the data lands in VM memory directly;
-// for virtual-passthrough only the host backend runs.
-func (w *World) DeviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
-	if w.Check == nil {
-		return w.deviceRX(dev, target)
-	}
-	tok := w.Check.Begin(w, target, BoundaryDeviceRX, Op{})
-	cost, err := w.deviceRX(dev, target)
-	w.Check.End(tok, w, target, BoundaryDeviceRX, Op{}, cost, err)
-	return cost, err
-}
-
-func (w *World) deviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	var cost sim.Cycles
-	w.Host.Machine.NIC.RxFrames++
-
-	if dev.Phys == nil {
-		// The host backend (vhost) receives from the wire.
-		stats.ChargeLevel(0, c.VirtioBackendWork)
-		cost += c.VirtioBackendWork
-		if dev.ProviderLevel >= 1 {
-			stack, err := w.stack(target)
-			if err != nil {
-				return 0, err
-			}
-			// Each interposing hypervisor's backend runs its receive path
-			// and re-queues the data into the next level's ring.
-			for j := 1; j <= dev.ProviderLevel; j++ {
-				cost += w.guestPath(stack, vmx.ExitEPTViolation, j, stack[j].Personality.HandlerScript(vmx.ExitEPTViolation))
-				stats.ChargeLevel(j, c.VirtioBackendWork)
-				cost += c.VirtioBackendWork
-			}
-		}
-	}
-	del, err := w.DeliverDeviceIRQ(dev, target)
-	if err != nil {
-		return 0, err
-	}
-	return cost + del, nil
-}
-
-// ArmVirtualTimer schedules the host hrtimer backing a DVH virtual timer for
-// a nested vCPU; firing and wake behavior match the host's own timers. The
-// deadline is in host TSC units — the guest deadline plus the combined
-// TSC-offset chain.
-func (w *World) ArmVirtualTimer(v *VCPU, deadline uint64) {
-	if w.Check != nil {
-		w.Check.TimerArmed(w, v, deadline)
-	}
-	w.armHostTimer(v, deadline)
 }

@@ -13,7 +13,7 @@
 //	             simulator output (sorted-collect idiom or //nvlint:ordered
 //	             allowlists a range)
 //	hotalloc     no allocating constructs in functions reachable from the
-//	             hot-path roots (World.Execute, DVHHost.TryHandle)
+//	             hot-path roots (World.Execute, Interceptor.TryHandle)
 //	exhaustive   switches over module-declared enum types cover every
 //	             constant or carry an explicit default
 //	nopanic      panic() is forbidden in non-test engine packages
@@ -107,7 +107,7 @@ func ModuleConfig(dir string) (Config, error) {
 	cfg.GoStmtAllowed = []string{mp + "/internal/parallel"}
 	cfg.HotRoots = []string{
 		mp + "/internal/hyper.(*World).Execute",
-		mp + "/internal/hyper.DVHHost.TryHandle",
+		mp + "/internal/hyper.Interceptor.TryHandle",
 	}
 	cfg.ByValueTypes = []string{mp + "/internal/hyper.Op"}
 	return cfg, nil

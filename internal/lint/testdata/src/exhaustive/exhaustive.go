@@ -64,3 +64,48 @@ func Classify(r vmx.ExitReason) int {
 	}
 	return 0
 }
+
+// Stage mirrors the exit-transaction pipeline's stage enum
+// (internal/hyper/pipeline.go): a uint8 iota enum whose String switch must
+// stay total as stages are added.
+type Stage uint8
+
+const (
+	StageFastPath Stage = iota
+	StageIntercept
+	StageRoute
+	StageEmulate
+	StageForward
+	StageDeliver
+	StageSettle
+)
+
+// StageName drops the settle stage — the regression the rule must catch if a
+// new stage is added without extending every stage switch.
+func StageName(s Stage) string {
+	switch s { // want "misses StageSettle and has no default"
+	case StageFastPath:
+		return "fast-path"
+	case StageIntercept:
+		return "intercept"
+	case StageRoute:
+		return "route"
+	case StageEmulate:
+		return "emulate"
+	case StageForward:
+		return "forward"
+	case StageDeliver:
+		return "deliver"
+	}
+	return "?"
+}
+
+// StageTotal covers the whole pipeline.
+func StageTotal(s Stage) string {
+	switch s {
+	case StageFastPath, StageIntercept, StageRoute, StageEmulate,
+		StageForward, StageDeliver, StageSettle:
+		return "stage"
+	}
+	return "?"
+}
