@@ -1,14 +1,23 @@
 // Command nvperf emits the machine-readable benchmark artifact for this
-// repository (BENCH_4.json): the modeled per-figure results — Table 3 cycles
+// repository (BENCH_6.json): the modeled per-figure results — Table 3 cycles
 // and the Figure 7–10 overhead matrices — together with host-side hot-path
-// measurements (ns/op, allocs/op, B/op) for the exit-transaction pipeline.
-// The modeled numbers are deterministic and comparable across machines; the
+// measurements (ns/op, allocs/op, B/op) for the exit-transaction pipeline,
+// including the forward-plan replay cache's uncached-vs-replayed pairs. The
+// modeled numbers are deterministic and comparable across machines; the
 // hot-path numbers measure the simulator itself and belong to the machine
 // that produced them.
 //
 // Usage:
 //
-//	nvperf [-o BENCH_4.json]
+//	nvperf [-o BENCH_6.json]
+//	nvperf -compare BENCH_6.json
+//
+// -compare re-collects the artifact and gates against the given baseline:
+// Table 3 cycles must match exactly (they are deterministic model outputs),
+// steady-state replayed forward paths must stay allocation-free and at least
+// 5x faster than their uncached twins, and no hot-path benchmark may regress
+// more than 20% ns/op against the baseline. It exits non-zero on violation —
+// the `make bench-compare` gate inside `make check`.
 package main
 
 import (
@@ -22,7 +31,7 @@ import (
 	"repro/internal/hyper"
 )
 
-// Artifact is the BENCH_4.json schema.
+// Artifact is the BENCH_6.json schema.
 type Artifact struct {
 	Schema  string       `json:"schema"`
 	Figures []FigureData `json:"figures"`
@@ -64,10 +73,11 @@ type HotBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output path for the benchmark artifact")
+	out := flag.String("o", "BENCH_6.json", "output path for the benchmark artifact")
+	compare := flag.String("compare", "", "baseline artifact to gate against instead of writing one")
 	flag.Parse()
 
-	a := Artifact{Schema: "nvperf/bench-v1"}
+	a := Artifact{Schema: "nvperf/bench-v2"}
 	if err := collectFigures(&a); err != nil {
 		fmt.Fprintln(os.Stderr, "nvperf:", err)
 		os.Exit(1)
@@ -75,6 +85,15 @@ func main() {
 	if err := collectHotPath(&a); err != nil {
 		fmt.Fprintln(os.Stderr, "nvperf:", err)
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		if err := gate(&a, *compare); err != nil {
+			fmt.Fprintln(os.Stderr, "nvperf: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("nvperf: %s holds (%d figures, %d hot-path benchmarks within gates)\n", *compare, len(a.Figures), len(a.HotPath))
+		return
 	}
 
 	data, err := json.MarshalIndent(a, "", "  ")
@@ -88,6 +107,104 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("nvperf: wrote %s (%d figures, %d hot-path benchmarks)\n", *out, len(a.Figures), len(a.HotPath))
+}
+
+// regressionBudget is the ns/op slack tolerated against the committed
+// baseline before the gate fails. Hot-path wall-clock is machine-dependent;
+// 20% on top of the baseline machine's numbers catches order-of-magnitude
+// regressions (a cache that silently stopped replaying) while absorbing
+// normal scheduling noise.
+const regressionBudget = 1.20
+
+// speedupFloor is the minimum replayed-over-uncached speedup the plan cache
+// must deliver on the deep forwarding path. Self-relative, so it holds on any
+// machine.
+const speedupFloor = 5.0
+
+// gate re-collects the artifact (already in a) and validates it against the
+// committed baseline.
+func gate(a *Artifact, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Artifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+
+	// Modeled cycles are deterministic: any drift is a model change that must
+	// come with a regenerated artifact, never an accident.
+	if err := compareCycles(&base, a); err != nil {
+		return err
+	}
+
+	cur := hotByName(a)
+	for _, b := range base.HotPath {
+		c, ok := cur[b.Name]
+		if !ok {
+			return fmt.Errorf("hot-path benchmark %q in baseline but not in this build", b.Name)
+		}
+		if c.NsPerOp > b.NsPerOp*regressionBudget {
+			return fmt.Errorf("%s: %.0f ns/op vs baseline %.0f ns/op (>%.0f%% regression)",
+				b.Name, c.NsPerOp, b.NsPerOp, (regressionBudget-1)*100)
+		}
+	}
+
+	// The replay contract, self-relative on this machine: allocation-free and
+	// >= 5x faster than re-running the recursion at L3.
+	for _, pair := range [][2]string{
+		{"execute/L2-hypercall-uncached", "execute/L2-hypercall-replayed"},
+		{"execute/L3-hypercall-uncached", "execute/L3-hypercall-replayed"},
+	} {
+		un, ok1 := cur[pair[0]]
+		re, ok2 := cur[pair[1]]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("missing uncached/replayed pair %v", pair)
+		}
+		if re.AllocsPerOp != 0 {
+			return fmt.Errorf("%s: %d allocs/op, want 0 in steady-state replay", pair[1], re.AllocsPerOp)
+		}
+		if pair[0] == "execute/L3-hypercall-uncached" && un.NsPerOp < speedupFloor*re.NsPerOp {
+			return fmt.Errorf("%s speedup %.1fx over %s, want >= %.0fx",
+				pair[1], un.NsPerOp/re.NsPerOp, pair[0], speedupFloor)
+		}
+	}
+	return nil
+}
+
+// compareCycles requires the Table 3 rows of both artifacts to be identical.
+func compareCycles(base, cur *Artifact) error {
+	bt, ct := cyclesOf(base), cyclesOf(cur)
+	if bt == nil || ct == nil {
+		return fmt.Errorf("table3 missing from artifact")
+	}
+	if len(bt) != len(ct) {
+		return fmt.Errorf("table3 has %d rows, baseline %d", len(ct), len(bt))
+	}
+	for i := range bt {
+		if bt[i] != ct[i] {
+			return fmt.Errorf("table3 row %q drifted: %+v, baseline %+v", ct[i].Name, ct[i], bt[i])
+		}
+	}
+	return nil
+}
+
+func cyclesOf(a *Artifact) []CycleRow {
+	for _, f := range a.Figures {
+		if f.Name == "table3" {
+			return f.Cycles
+		}
+	}
+	return nil
+}
+
+func hotByName(a *Artifact) map[string]HotBench {
+	m := make(map[string]HotBench, len(a.HotPath))
+	for _, h := range a.HotPath {
+		m[h.Name] = h
+	}
+	return m
 }
 
 // collectFigures runs the deterministic evaluation matrix.
@@ -129,23 +246,32 @@ func collectFigures(a *Artifact) error {
 }
 
 // collectHotPath benchmarks the pipeline's representative outcomes on this
-// host: single-level host emulation, the full L2/L3 forwarding recursion,
-// and an interceptor-claimed exit (DVH doorbell). Each case drives
+// host: single-level host emulation, the L2/L3 forwarding path in both plan
+// modes (uncached live recursion vs steady-state replay of the compiled
+// plan), and an interceptor-claimed exit (DVH doorbell). Each case drives
 // World.Execute through a prebuilt stack, so allocs/op is the pipeline's own
-// allocation count — the number the 0 allocs/op contract pins.
+// allocation count — the number the 0 allocs/op contract pins. The
+// uncached/replayed pairs produce identical simulation results; only the
+// host-side cost differs, which is what the -compare gate's 5x floor checks.
 func collectHotPath(a *Artifact) error {
+	cache := map[string]bool{"uncached": false, "replayed": true}
 	cases := []struct {
 		name string
 		spec experiment.Spec
+		mode string // "", "uncached" or "replayed"
 		op   func(st *experiment.Stack) hyper.Op
 	}{
-		{"execute/L1-hypercall", experiment.Spec{Depth: 1, IO: experiment.IOParavirt},
+		{"execute/L1-hypercall", experiment.Spec{Depth: 1, IO: experiment.IOParavirt}, "",
 			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L2-hypercall-forwarded", experiment.Spec{Depth: 2, IO: experiment.IOParavirt},
+		{"execute/L2-hypercall-uncached", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "uncached",
 			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L3-hypercall-forwarded", experiment.Spec{Depth: 3, IO: experiment.IOParavirt},
+		{"execute/L2-hypercall-replayed", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "replayed",
 			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L2-doorbell-intercepted", experiment.Spec{Depth: 2, IO: experiment.IODVH},
+		{"execute/L3-hypercall-uncached", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "uncached",
+			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L3-hypercall-replayed", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "replayed",
+			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L2-doorbell-intercepted", experiment.Spec{Depth: 2, IO: experiment.IODVH}, "",
 			func(st *experiment.Stack) hyper.Op { return hyper.DevNotify(st.Net.Doorbell) }},
 	}
 	for _, tc := range cases {
@@ -153,8 +279,16 @@ func collectHotPath(a *Artifact) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", tc.name, err)
 		}
+		if tc.mode != "" {
+			st.World.SetPlanCache(cache[tc.mode])
+		}
 		v := st.Target.VCPUs[0]
 		op := tc.op(st)
+		// Warm caches (hypervisor stack, plan table in replayed mode) so the
+		// measurement is steady state, not first-exit compilation.
+		if _, err := st.World.Execute(v, op); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
 		var execErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()

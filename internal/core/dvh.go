@@ -87,8 +87,11 @@ const InterceptPriority = 100
 
 // Enable activates DVH on a world: the host advertises the DVH capability
 // bits as if they were hardware features and registers itself on the world's
-// nested-exit interceptor chain.
-func Enable(w *hyper.World, f Features) *DVH {
+// nested-exit interceptor chain. The caps change goes through SetHostCaps so
+// the capability generation moves and compiled forward plans recompile.
+// Registration fails if an interceptor named "dvh" is already present —
+// enabling DVH twice on one world is a setup bug, not a benign no-op.
+func Enable(w *hyper.World, f Features) (*DVH, error) {
 	d := &DVH{
 		World:    w,
 		Features: f,
@@ -96,14 +99,20 @@ func Enable(w *hyper.World, f Features) *DVH {
 		vp:       make(map[*hyper.AssignedDevice]*VPState),
 		disabled: make(map[*hyper.Hypervisor]Features),
 	}
+	caps := w.Host.Caps
 	if f.Has(FeatureVirtualTimers) {
-		w.Host.Caps = w.Host.Caps.With(vmx.CapVirtualTimer)
+		caps = caps.With(vmx.CapVirtualTimer)
 	}
 	if f.Has(FeatureVirtualIPIs) {
-		w.Host.Caps = w.Host.Caps.With(vmx.CapVirtualIPI)
+		caps = caps.With(vmx.CapVirtualIPI)
 	}
-	w.RegisterInterceptor(d)
-	return d
+	if caps != w.Host.Caps {
+		w.SetHostCaps(caps)
+	}
+	if err := w.RegisterInterceptor(d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // InterceptorInfo implements hyper.Interceptor.

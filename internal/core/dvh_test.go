@@ -20,7 +20,10 @@ func buildStack(t testing.TB, depth int, f Features) (*DVH, *hyper.World, []*hyp
 	})
 	host := hyper.NewHost(m, hyper.KVM{})
 	w := hyper.NewWorld(host)
-	d := Enable(w, f)
+	d, err := Enable(w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var vms []*hyper.VM
 	h := host
 	memBytes := uint64(16 << 30)

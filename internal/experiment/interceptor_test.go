@@ -22,7 +22,9 @@ func TestUnifiedInterceptorChainHyperV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.World.RegisterInterceptor(hyperv.Enlightenment{})
+	if err := st.World.RegisterInterceptor(hyperv.Enlightenment{}); err != nil {
+		t.Fatal(err)
+	}
 	chk := st.AttachChecker()
 
 	chain := st.World.Interceptors()
@@ -83,7 +85,9 @@ func TestUnifiedInterceptorChainXen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.World.RegisterInterceptor(xen.Enlightenment{})
+	if err := st.World.RegisterInterceptor(xen.Enlightenment{}); err != nil {
+		t.Fatal(err)
+	}
 	chk := st.AttachChecker()
 
 	v := st.Target.VCPUs[0]
@@ -136,8 +140,12 @@ func TestEnlightenmentRequiresMatchingPersonality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.World.RegisterInterceptor(hyperv.Enlightenment{})
-	st.World.RegisterInterceptor(xen.Enlightenment{})
+	if err := st.World.RegisterInterceptor(hyperv.Enlightenment{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.World.RegisterInterceptor(xen.Enlightenment{}); err != nil {
+		t.Fatal(err)
+	}
 	cost, err := st.World.Execute(st.Target.VCPUs[0], hyper.Hypercall())
 	if err != nil {
 		t.Fatal(err)

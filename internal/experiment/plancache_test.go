@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/hyper"
+)
+
+// renderMatrix runs the Table 3 and Figure 7/8 cells and concatenates their
+// formatted output — the byte surface nvbench -all and nvartifact print.
+// Figures 9/10 exercise no path Figure 8 does not (deeper stacks and Xen
+// guests are covered by the Table 3 L3 rows and the hyper-level equivalence
+// matrix), and the A/B runs the whole matrix four times.
+func renderMatrix(t *testing.T) string {
+	t.Helper()
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable3(rows)
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += FormatAppResults("Figure 7", f7)
+	f8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += FormatAppResults("Figure 8", f8)
+	return out
+}
+
+// TestPlanCacheOutputIdentity is the metamorphic A/B contract of the
+// forward-plan replay cache: the rendered experiment matrix — what nvbench
+// -all and nvartifact emit — must be byte-identical with the cache enabled
+// (default) and disabled (NVSIM_NOPLANCACHE=1), at every pool width the
+// -parallel flags expose. Every cell builds its Worlds after t.Setenv takes
+// effect, so the env var cleanly selects the mode per run.
+func TestPlanCacheOutputIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix x4")
+	}
+	for _, width := range []int{1, 4, 8} {
+		t.Setenv(hyper.NoPlanCacheEnv, "")
+		cached := runWidth(t, width, func() (string, error) { return renderMatrix(t), nil })
+		t.Setenv(hyper.NoPlanCacheEnv, "1")
+		live := runWidth(t, width, func() (string, error) { return renderMatrix(t), nil })
+		if cached != live {
+			t.Errorf("width %d: plan-cache output diverges from live recursion:\n--- cached ---\n%s\n--- live ---\n%s",
+				width, cached, live)
+		}
+	}
+}

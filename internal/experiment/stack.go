@@ -138,7 +138,11 @@ func Build(spec Spec) (*Stack, error) {
 		}
 	}
 	if features != 0 {
-		st.DVH = core.Enable(st.World, features)
+		d, err := core.Enable(st.World, features)
+		if err != nil {
+			return nil, err
+		}
+		st.DVH = d
 	}
 
 	guestPersonality := func() hyper.Personality {

@@ -10,8 +10,9 @@ import (
 
 // This file is the dispatch half of the pipeline: Execute's staged flow from
 // a trapping guest operation to a settled transaction — fast-path, intercept
-// (pipeline.go), route, and emulate-or-forward — plus the forwarding
-// recursion that makes exit multiplication an emergent property.
+// (pipeline.go), route, and emulate-or-forward. The forwarding recursion that
+// makes exit multiplication an emergent property lives in plan.go, where it
+// doubles as the compiler for the forward-plan replay cache.
 
 // reasonFor maps an operation to its VM-exit reason.
 func reasonFor(op Op) vmx.ExitReason {
@@ -147,15 +148,24 @@ func (w *World) stageEmulate(tx *ExitContext) error {
 	return nil
 }
 
-// stageForward reflects a guest-hypervisor-owned exit up the stack.
+// stageForward reflects a guest-hypervisor-owned exit up the stack. The pure
+// cost/charge tree of the reflection (plan.go) replays from the compiled
+// forward plan in steady state — or re-runs the live recursion when the cache
+// is disabled — and the owner's side effects always run live after it.
 func (w *World) stageForward(tx *ExitContext, stack []*Hypervisor) error {
 	tx.Stage = StageForward
 	w.Host.Machine.Stats.RecordHandledExit(tx.Reason, tx.Owner)
-	fwd, err := w.forward(tx.V, stack, tx.Reason, tx.Op, tx.Owner)
+	var fwd sim.Cycles
+	if w.planCacheOff {
+		fwd = w.forwardCost(stack, tx.Reason, tx.Owner, w)
+	} else {
+		fwd = w.replayForwardPlan(w.forwardPlanFor(tx.V, stack, tx.Reason, tx.Owner))
+	}
+	eff, err := w.ownerEffects(tx.V, tx.Op, tx.Owner)
 	if err != nil {
 		return err
 	}
-	tx.add(StageForward, fwd)
+	tx.add(StageForward, fwd+eff)
 	return nil
 }
 
@@ -231,106 +241,6 @@ func (w *World) fillFault(v *VCPU, a mem.Addr, owner int) error {
 	}
 	_, err := cur.EnsureMapped(mem.PageOf(addr))
 	return err
-}
-
-// forward reflects an exit from v up to the owning guest hypervisor: the
-// host injects a virtual exit into L1; levels below the owner re-reflect;
-// the owner runs its handler (whose privileged ops recursively trap); and
-// the unwind back into the nested VM rides on the Resume emulation chain.
-func (w *World) forward(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, op Op, owner int) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-
-	cost := c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, c.ReflectWork+c.HwEntry)
-
-	// Intermediate levels re-reflect toward the owner.
-	for j := 1; j < owner; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
-	}
-	// The owner's handler.
-	cost += w.runScript(stack, owner, stack[owner].Personality.HandlerScript(reason))
-
-	// Handler side effects at the owner.
-	eff, err := w.ownerEffects(v, op, owner)
-	if err != nil {
-		return 0, err
-	}
-	return cost + eff, nil
-}
-
-// runScript charges the cost of a hypervisor code path executed at the given
-// level. At level 1 with VMCS shadowing, VMREAD/VMWRITEs are satisfied in
-// hardware; at deeper levels every one of them is a trapped instruction
-// whose emulation recurses — the exit-multiplication engine.
-func (w *World) runScript(stack []*Hypervisor, level int, s Script) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	var cost sim.Cycles
-
-	if level == 0 {
-		cost = sim.Cycles(s.VMAccesses)*c.NativeVMAccess + sim.Cycles(s.PrivOps)*c.PrivEmulWork + s.SoftWork
-		if s.Resume {
-			cost += c.ResumeMergeWork + c.HwEntry
-		}
-		stats.ChargeLevel(0, cost)
-		return cost
-	}
-
-	if s.VMAccesses > 0 {
-		if level == 1 && w.Host.Caps.Has(vmx.CapVMCSShadowing) {
-			shadow := sim.Cycles(s.VMAccesses) * c.ShadowVMAccess
-			cost += shadow
-			stats.ChargeLevel(level, shadow)
-		} else {
-			for i := 0; i < s.VMAccesses; i++ {
-				cost += w.privOp(stack, level, vmx.ExitVMREAD)
-			}
-		}
-	}
-	for i := 0; i < s.PrivOps; i++ {
-		cost += w.privOp(stack, level, vmx.ExitVMPTRLD)
-	}
-	cost += s.SoftWork
-	stats.ChargeLevel(level, s.SoftWork)
-	if s.Resume {
-		cost += w.privOp(stack, level, vmx.ExitVMRESUME)
-	}
-	return cost
-}
-
-// privOp charges one privileged virtualization instruction executed by the
-// hypervisor at the given level. Level-1 instructions are emulated directly
-// by the host; deeper ones are forwarded to the level below, whose emulation
-// path is itself a script full of privileged instructions.
-func (w *World) privOp(stack []*Hypervisor, level int, reason vmx.ExitReason) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.RecordHardwareExit(reason)
-	w.Tracer.Record(reason, level, level-1)
-	cost := c.HwExit
-
-	if level == 1 {
-		stats.RecordHandledExit(reason, 0)
-		work := c.PrivEmulWork
-		if reason == vmx.ExitVMRESUME || reason == vmx.ExitVMLAUNCH {
-			work += c.ResumeMergeWork
-		}
-		cost += c.HostDispatch + work + c.HwEntry
-		stats.ChargeLevel(0, cost)
-		return cost
-	}
-
-	// Forward the emulation to the hypervisor one level below.
-	handler := level - 1
-	stats.RecordHandledExit(reason, handler)
-	cost += c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, c.HwExit+c.ReflectWork+c.HwEntry)
-	for j := 1; j < handler; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
-	}
-	cost += w.runScript(stack, handler, stack[handler].Personality.EmulScript(reason))
-	return cost
 }
 
 // execAsLevel executes an operation as if issued by the hypervisor at the

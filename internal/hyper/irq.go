@@ -142,7 +142,9 @@ func (w *World) deliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles,
 // guestPath charges an exit into the hypervisor at the given level that runs
 // the supplied script there (reflecting through intermediate levels), without
 // any owner side effects — the building block for injection and receive-path
-// interpositions.
+// interpositions. It always runs the recursion live (with the world as the
+// sink): delivery paths depend on per-call scripts, so they are not covered
+// by the forward-plan cache.
 func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int, s Script) sim.Cycles {
 	c := &w.Costs
 	stats := w.Host.Machine.Stats
@@ -152,9 +154,9 @@ func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int,
 	cost := c.HwExit + c.ReflectWork + c.HwEntry
 	stats.ChargeLevel(0, cost)
 	for j := 1; j < level; j++ {
-		cost += w.runScript(stack, j, stack[j].Personality.ReflectScript())
+		cost += w.scriptCost(stack, j, stack[j].Personality.ReflectScript(), w)
 	}
-	cost += w.runScript(stack, level, s)
+	cost += w.scriptCost(stack, level, s, w)
 	return cost
 }
 

@@ -1,6 +1,7 @@
 package hyper
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/sim"
@@ -199,9 +200,17 @@ type Interceptor interface {
 // RegisterInterceptor adds a direct-handling backend to the world's chain.
 // The chain is kept sorted by (priority, name) — registration order never
 // influences dispatch, so runs are reproducible no matter how a stack was
-// assembled. Registration is a setup-time operation, not part of the
-// allocation-free exit path.
-func (w *World) RegisterInterceptor(i Interceptor) {
+// assembled. Duplicate names are rejected: ties order by name, so two
+// interceptors sharing one would make chain order registration-dependent,
+// silently breaking the determinism contract. Registration is a setup-time
+// operation, not part of the allocation-free exit path.
+func (w *World) RegisterInterceptor(i Interceptor) error {
+	name, _ := i.InterceptorInfo()
+	for _, have := range w.interceptors {
+		if hn, _ := have.InterceptorInfo(); hn == name {
+			return fmt.Errorf("hyper: interceptor %q already registered: duplicate names would make chain order registration-dependent", name)
+		}
+	}
 	w.interceptors = append(w.interceptors, i)
 	sort.SliceStable(w.interceptors, func(a, b int) bool {
 		na, pa := w.interceptors[a].InterceptorInfo()
@@ -211,6 +220,7 @@ func (w *World) RegisterInterceptor(i Interceptor) {
 		}
 		return na < nb
 	})
+	return nil
 }
 
 // Interceptors returns the registered chain in consultation order. The

@@ -26,6 +26,14 @@ func (s *stubInterceptor) TryHandle(w *World, v *VCPU, op Op) (bool, sim.Cycles,
 	return true, s.work, nil
 }
 
+// mustRegister registers an interceptor, failing the test on rejection.
+func mustRegister(t testing.TB, w *World, i Interceptor) {
+	t.Helper()
+	if err := w.RegisterInterceptor(i); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func chainNames(w *World) []string {
 	var names []string
 	for _, it := range w.Interceptors() {
@@ -48,11 +56,11 @@ func TestInterceptorChainOrderDeterministic(t *testing.T) {
 		early := &stubInterceptor{name: "early", priority: 10, log: log}
 		late := &stubInterceptor{name: "late", priority: 90, log: log}
 		if reversed {
-			w.RegisterInterceptor(late)
-			w.RegisterInterceptor(early)
+			mustRegister(t, w,late)
+			mustRegister(t, w,early)
 		} else {
-			w.RegisterInterceptor(early)
-			w.RegisterInterceptor(late)
+			mustRegister(t, w,early)
+			mustRegister(t, w,late)
 		}
 		return w, vms[1].VCPUs[0], log
 	}
@@ -75,8 +83,8 @@ func TestInterceptorChainOrderDeterministic(t *testing.T) {
 func TestInterceptorTieBreakByName(t *testing.T) {
 	w, _ := testStack(t, 2)
 	log := &[]string{}
-	w.RegisterInterceptor(&stubInterceptor{name: "zeta", priority: 50, log: log})
-	w.RegisterInterceptor(&stubInterceptor{name: "alpha", priority: 50, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "zeta", priority: 50, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "alpha", priority: 50, log: log})
 	got := chainNames(w)
 	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
 		t.Fatalf("chain order = %v, want [alpha zeta]", got)
@@ -91,9 +99,9 @@ func TestInterceptorTieBreakByName(t *testing.T) {
 func TestInterceptorHandledStopsChain(t *testing.T) {
 	w, vms := testStack(t, 2)
 	log := &[]string{}
-	w.RegisterInterceptor(&stubInterceptor{name: "decliner", priority: 1, log: log})
-	w.RegisterInterceptor(&stubInterceptor{name: "handler", priority: 2, handle: true, work: 333, log: log})
-	w.RegisterInterceptor(&stubInterceptor{name: "shadowed", priority: 3, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "decliner", priority: 1, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "handler", priority: 2, handle: true, work: 333, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "shadowed", priority: 3, log: log})
 
 	v := vms[1].VCPUs[0]
 	c := &w.Costs
@@ -116,7 +124,7 @@ func TestInterceptorHandledStopsChain(t *testing.T) {
 func TestInterceptorSkippedAtLevel1(t *testing.T) {
 	w, vms := testStack(t, 1)
 	log := &[]string{}
-	w.RegisterInterceptor(&stubInterceptor{name: "stub", priority: 1, handle: true, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "stub", priority: 1, handle: true, log: log})
 	exec(t, w, vms[0].VCPUs[0], Hypercall())
 	if len(*log) != 0 {
 		t.Errorf("interceptor consulted for a level-1 exit: %v", *log)
@@ -178,7 +186,7 @@ func TestSingleSettlePoint(t *testing.T) {
 
 	// An interceptor claim settles through the same single point.
 	log := &[]string{}
-	w.RegisterInterceptor(&stubInterceptor{name: "claimer", priority: 1, handle: true, work: 100, log: log})
+	mustRegister(t, w,&stubInterceptor{name: "claimer", priority: 1, handle: true, work: 100, log: log})
 	before := spy.begins
 	cost := exec(t, w, v, Hypercall())
 	if spy.begins != before+1 || spy.ends != spy.begins {

@@ -1,0 +1,365 @@
+package hyper
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vmx"
+)
+
+// This file is the forward-plan replay cache: the exit-multiplication
+// recursion behind a forwarded exit (paper Figure 1a) is a *pure* function of
+// a small key — (exit reason, owner level, the personalities of the
+// hypervisor stack up to the owner, the host capability word, the cost
+// model) — so the simulator walks it once, flattens the walk into an
+// immutable replay plan, and replays the plan on every subsequent identical
+// exit in O(levels) with zero recursion and zero allocations. Only the pure
+// cost/charge tree is cached; owner side effects (timer arming, IPI posting,
+// EPT fills, cascade kicks) stay live in ownerEffects.
+//
+// Correctness rests on one structural property: the recursion is written
+// exactly once, parameterized by a forwardSink. The live sink (*World)
+// charges the stats tables and trace recorder directly — that is the
+// NVSIM_NOPLANCACHE reference path, byte-identical to the pre-cache engine.
+// The compiling sink (*planBuilder) aggregates the same emissions into a
+// plan. Replaying a plan therefore cannot diverge from recomputing it: both
+// are projections of the same walk, and the A/B tests pin them together.
+
+// forwardSink receives every emission of the forwarding recursion: cycle
+// charges per hypervisor level, hardware- and handled-exit counts, and the
+// ordered trace events. Implementations: *World (live, charges the stats
+// sink and trace recorder) and *planBuilder (aggregates into a forwardPlan).
+type forwardSink interface {
+	chargeLevel(level int, c sim.Cycles)
+	hardwareExit(r vmx.ExitReason)
+	handledExit(r vmx.ExitReason, level int)
+	// traceEvent reports one hardware exit on the timeline; n identical
+	// consecutive events may be reported as one call with n > 1.
+	traceEvent(r vmx.ExitReason, from, handler, n int)
+}
+
+// chargeLevel implements forwardSink live: charges go straight to the stats
+// tables, as the pre-cache engine did.
+func (w *World) chargeLevel(level int, c sim.Cycles) {
+	w.Host.Machine.Stats.ChargeLevel(level, c)
+}
+
+// hardwareExit implements forwardSink live.
+func (w *World) hardwareExit(r vmx.ExitReason) {
+	w.Host.Machine.Stats.RecordHardwareExit(r)
+}
+
+// handledExit implements forwardSink live.
+func (w *World) handledExit(r vmx.ExitReason, level int) {
+	w.Host.Machine.Stats.RecordHandledExit(r, level)
+}
+
+// traceEvent implements forwardSink live (RecordRun on a nil recorder is a
+// no-op, and with n == 1 it is exactly Record).
+func (w *World) traceEvent(r vmx.ExitReason, from, handler, n int) {
+	w.Tracer.RecordRun(r, from, handler, n)
+}
+
+// forwardCost is the pure cost/charge tree of one forwarded exit: the host
+// reflects the exit into L1, intermediate levels re-reflect toward the
+// owner, and the owner runs its handler — every privileged instruction of
+// which recurses through privOpCost. It emits all charges, counts and trace
+// events into the sink and returns the total cycles. Owner side effects are
+// explicitly NOT part of this tree (see ownerEffects).
+func (w *World) forwardCost(stack []*Hypervisor, reason vmx.ExitReason, owner int, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	cost := c.ReflectWork + c.HwEntry
+	sink.chargeLevel(0, c.ReflectWork+c.HwEntry)
+
+	// Intermediate levels re-reflect toward the owner.
+	for j := 1; j < owner; j++ {
+		cost += w.scriptCost(stack, j, stack[j].Personality.ReflectScript(), sink)
+	}
+	// The owner's handler.
+	cost += w.scriptCost(stack, owner, stack[owner].Personality.HandlerScript(reason), sink)
+	return cost
+}
+
+// scriptCost charges the cost of a hypervisor code path executed at the given
+// level. At level 1 with VMCS shadowing, VMREAD/VMWRITEs are satisfied in
+// hardware; at deeper levels every one of them is a trapped instruction
+// whose emulation recurses — the exit-multiplication engine.
+func (w *World) scriptCost(stack []*Hypervisor, level int, s Script, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	var cost sim.Cycles
+
+	if level == 0 {
+		cost = sim.Cycles(s.VMAccesses)*c.NativeVMAccess + sim.Cycles(s.PrivOps)*c.PrivEmulWork + s.SoftWork
+		if s.Resume {
+			cost += c.ResumeMergeWork + c.HwEntry
+		}
+		sink.chargeLevel(0, cost)
+		return cost
+	}
+
+	if s.VMAccesses > 0 {
+		if level == 1 && w.Host.Caps.Has(vmx.CapVMCSShadowing) {
+			shadow := sim.Cycles(s.VMAccesses) * c.ShadowVMAccess
+			cost += shadow
+			sink.chargeLevel(level, shadow)
+		} else {
+			for i := 0; i < s.VMAccesses; i++ {
+				cost += w.privOpCost(stack, level, vmx.ExitVMREAD, sink)
+			}
+		}
+	}
+	for i := 0; i < s.PrivOps; i++ {
+		cost += w.privOpCost(stack, level, vmx.ExitVMPTRLD, sink)
+	}
+	cost += s.SoftWork
+	sink.chargeLevel(level, s.SoftWork)
+	if s.Resume {
+		cost += w.privOpCost(stack, level, vmx.ExitVMRESUME, sink)
+	}
+	return cost
+}
+
+// privOpCost charges one privileged virtualization instruction executed by
+// the hypervisor at the given level. Level-1 instructions are emulated
+// directly by the host; deeper ones are forwarded to the level below, whose
+// emulation path is itself a script full of privileged instructions.
+func (w *World) privOpCost(stack []*Hypervisor, level int, reason vmx.ExitReason, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	sink.hardwareExit(reason)
+	sink.traceEvent(reason, level, level-1, 1)
+	cost := c.HwExit
+
+	if level == 1 {
+		sink.handledExit(reason, 0)
+		work := c.PrivEmulWork
+		if reason == vmx.ExitVMRESUME || reason == vmx.ExitVMLAUNCH {
+			work += c.ResumeMergeWork
+		}
+		cost += c.HostDispatch + work + c.HwEntry
+		sink.chargeLevel(0, cost)
+		return cost
+	}
+
+	// Forward the emulation to the hypervisor one level below.
+	handler := level - 1
+	sink.handledExit(reason, handler)
+	cost += c.ReflectWork + c.HwEntry
+	sink.chargeLevel(0, c.HwExit+c.ReflectWork+c.HwEntry)
+	for j := 1; j < handler; j++ {
+		cost += w.scriptCost(stack, j, stack[j].Personality.ReflectScript(), sink)
+	}
+	cost += w.scriptCost(stack, handler, stack[handler].Personality.EmulScript(reason), sink)
+	return cost
+}
+
+// reasonCount is one aggregated hardware-exit delta of a plan.
+type reasonCount struct {
+	reason vmx.ExitReason
+	n      uint64
+}
+
+// handledCount is one aggregated handled-exit delta of a plan.
+type handledCount struct {
+	reason vmx.ExitReason
+	level  int
+	n      uint64
+}
+
+// eventRun is one run-length-encoded span of the plan's trace timeline.
+type eventRun struct {
+	reason        vmx.ExitReason
+	from, handler int
+	n             int
+}
+
+// forwardPlan is the compiled, immutable replay form of one forwarded exit's
+// pure cost/charge tree. Replaying it applies exactly the stats deltas and
+// trace events the recursion would emit, in O(levels + deltas + runs) with
+// zero allocations, and returns the identical total cost.
+type forwardPlan struct {
+	// cost is the total cycles of the reflect + handler tree (the value
+	// forward() returned before ownerEffects).
+	cost sim.Cycles
+	// levels holds the per-level ChargeLevel deltas, pre-clamped to the
+	// stats tables' level range.
+	levels [trace.MaxLevels]sim.Cycles
+	// hw and handled are the aggregated exit-count deltas, ordered by
+	// (reason index) and (reason index, level) for deterministic replay.
+	hw      []reasonCount
+	handled []handledCount
+	// events is the ordered, run-length-encoded trace timeline.
+	events []eventRun
+	// owner and pers pin the plan to the hypervisor-stack personality shape
+	// it was compiled against: pers[k] is stack[k].Personality for
+	// k in [1, owner]. Personalities are value identities (stateless,
+	// comparable), so an in-place personality swap — even one that dodges
+	// the topology generation — misses the cache instead of replaying a
+	// stale tree.
+	owner int
+	pers  [trace.MaxLevels]Personality
+}
+
+// matchesStack reports whether the plan was compiled against the same
+// personalities the stack currently runs.
+func (p *forwardPlan) matchesStack(stack []*Hypervisor) bool {
+	for k := 1; k <= p.owner && k < trace.MaxLevels; k++ {
+		if p.pers[k] != stack[k].Personality {
+			return false
+		}
+	}
+	return true
+}
+
+// planBuilder is the compiling forwardSink: it aggregates the recursion's
+// emissions into a forwardPlan. Dense scratch tables keep aggregation O(1)
+// per emission; finalize compacts them into the plan's sparse, index-ordered
+// delta lists.
+type planBuilder struct {
+	plan    forwardPlan
+	hw      [vmx.NumReasonIndexes]uint64
+	handled [vmx.NumReasonIndexes][trace.MaxLevels]uint64
+}
+
+// chargeLevel implements forwardSink, clamping exactly as the stats tables
+// do so a replayed charge lands on the same row a live charge would.
+func (b *planBuilder) chargeLevel(level int, c sim.Cycles) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= trace.MaxLevels {
+		level = trace.MaxLevels - 1
+	}
+	b.plan.levels[level] += c
+}
+
+// hardwareExit implements forwardSink.
+func (b *planBuilder) hardwareExit(r vmx.ExitReason) { b.hw[r.Index()]++ }
+
+// handledExit implements forwardSink, with RecordHandledExit's clamping.
+func (b *planBuilder) handledExit(r vmx.ExitReason, level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= trace.MaxLevels {
+		level = trace.MaxLevels - 1
+	}
+	b.handled[r.Index()][level]++
+}
+
+// traceEvent implements forwardSink: consecutive identical events collapse
+// into one run, preserving the exact event order of the recursion.
+func (b *planBuilder) traceEvent(r vmx.ExitReason, from, handler, n int) {
+	evs := b.plan.events
+	if last := len(evs) - 1; last >= 0 &&
+		evs[last].reason == r && evs[last].from == from && evs[last].handler == handler {
+		evs[last].n += n
+		return
+	}
+	// The builder runs only on the cold compile path (the compiler is
+	// //nvlint:cold); it reaches the hot call graph solely through CHA over
+	// the forwardSink interface.
+	//nvlint:ignore hotalloc cold compile path; hot-reachable only via CHA over forwardSink
+	b.plan.events = append(evs, eventRun{reason: r, from: from, handler: handler, n: n})
+}
+
+// finalize compacts the dense scratch tables into the plan's sparse delta
+// lists, in fixed (reason index, level) order for deterministic replay.
+func (b *planBuilder) finalize() *forwardPlan {
+	for i := range b.hw {
+		if b.hw[i] > 0 {
+			b.plan.hw = append(b.plan.hw, reasonCount{reason: vmx.ExitReason(i), n: b.hw[i]})
+		}
+	}
+	for i := range b.handled {
+		for l := 0; l < trace.MaxLevels; l++ {
+			if b.handled[i][l] > 0 {
+				b.plan.handled = append(b.plan.handled, handledCount{reason: vmx.ExitReason(i), level: l, n: b.handled[i][l]})
+			}
+		}
+	}
+	return &b.plan
+}
+
+// compileForwardPlan walks the forwarding recursion once with the compiling
+// sink and flattens it into an immutable replay plan. This is the cold path:
+// it runs once per (reason, owner, stack shape, caps, cost model) and its
+// cost is amortized across every replay until an invalidation generation
+// moves.
+//
+//nvlint:cold
+func (w *World) compileForwardPlan(stack []*Hypervisor, reason vmx.ExitReason, owner int) *forwardPlan {
+	b := &planBuilder{}
+	b.plan.cost = w.forwardCost(stack, reason, owner, b)
+	b.plan.owner = owner
+	for k := 1; k <= owner && k < trace.MaxLevels; k++ {
+		b.plan.pers[k] = stack[k].Personality
+	}
+	w.Plan.Compiles++
+	return b.finalize()
+}
+
+// replayForwardPlan applies a compiled plan: the aggregated per-level
+// charges, the exit-count deltas, and the run-length-encoded trace timeline,
+// byte-identical to re-running the recursion live. Allocation-free — this is
+// the steady-state forwarded-exit path.
+func (w *World) replayForwardPlan(p *forwardPlan) sim.Cycles {
+	stats := w.Host.Machine.Stats
+	for l := range p.levels {
+		if c := p.levels[l]; c != 0 {
+			stats.ChargeLevel(l, c)
+		}
+	}
+	for _, d := range p.hw {
+		stats.AddHardwareExits(d.reason, d.n)
+	}
+	for _, d := range p.handled {
+		stats.AddHandledExits(d.reason, d.level, d.n)
+	}
+	if w.Tracer != nil {
+		for _, e := range p.events {
+			w.Tracer.RecordRun(e.reason, e.from, e.handler, e.n)
+		}
+	}
+	w.Plan.Replays++
+	return p.cost
+}
+
+// planTable is a vCPU's compiled-plan cache, one slot per (exit reason,
+// owner level), valid for one (topology, cost-model, caps) generation
+// triple — the same per-vCPU generational pattern as the hypervisor-stack
+// cache, extended with the two generations plans additionally depend on.
+type planTable struct {
+	topoGen, costGen, capsGen uint64
+	slots                     [vmx.NumReasonIndexes][trace.MaxLevels]*forwardPlan
+}
+
+// forwardPlanFor returns the compiled plan for a forwarded exit, compiling
+// on the first miss and whenever an invalidation generation moved: topology
+// (Machine.TopoGen — VM creation, hypervisor installation, repinning),
+// cost model (Machine.CostGen — World.SetCosts), or capabilities
+// (Machine.CapsGen — World.SetHostCaps, DVH enablement). The stale check and
+// the personality-shape match are both O(levels); the steady-state hit path
+// allocates nothing.
+func (w *World) forwardPlanFor(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, owner int) *forwardPlan {
+	if owner < 1 || owner >= trace.MaxLevels {
+		// Beyond the accounting tables' level range; nothing at this depth is
+		// steady-state, so compile without caching.
+		return w.compileForwardPlan(stack, reason, owner)
+	}
+	m := w.Host.Machine
+	t := v.plans
+	if t == nil {
+		//nvlint:ignore hotalloc lazy per-vCPU plan-table init, amortized across all replays
+		t = &planTable{topoGen: m.TopoGen, costGen: m.CostGen, capsGen: m.CapsGen}
+		v.plans = t
+	} else if t.topoGen != m.TopoGen || t.costGen != m.CostGen || t.capsGen != m.CapsGen {
+		t.slots = [vmx.NumReasonIndexes][trace.MaxLevels]*forwardPlan{}
+		t.topoGen, t.costGen, t.capsGen = m.TopoGen, m.CostGen, m.CapsGen
+		w.Plan.Invalidations++
+	}
+	if p := t.slots[reason.Index()][owner]; p != nil && p.matchesStack(stack) {
+		return p
+	}
+	p := w.compileForwardPlan(stack, reason, owner)
+	t.slots[reason.Index()][owner] = p
+	return p
+}

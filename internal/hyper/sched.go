@@ -97,7 +97,7 @@ func (w *World) guestSwitch(stack []*Hypervisor, level int, from, to *VCPU) (sim
 	from.VMCS.Clear()
 	to.VMCS.Load()
 	to.VMCS.CopyGuestState(from.VMCS)
-	cost := w.runScript(stack, level, switchScript())
+	cost := w.scriptCost(stack, level, switchScript(), w)
 	sched := stack[level].EnsureScheduler()
 	sched.Switches++
 	w.Host.Machine.Stats.Inc("sched.switches", 1)

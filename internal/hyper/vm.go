@@ -127,6 +127,11 @@ type VCPU struct {
 	// TopoGen. The exit path consults it on every operation.
 	stackCache []*Hypervisor
 	stackGen   uint64
+
+	// plans caches this vCPU's compiled forward plans (plan.go), one per
+	// (exit reason, owner level), valid for one (TopoGen, CostGen, CapsGen)
+	// generation triple. Lazily allocated on the first forwarded exit.
+	plans *planTable
 }
 
 // CreateVM builds a VM under this hypervisor.

@@ -2,9 +2,33 @@ package hyper
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/trace"
+	"repro/internal/vmx"
 )
+
+// NoPlanCacheEnv disables the forward-plan replay cache when set to anything
+// but "" or "0" — the escape hatch (and A/B lever) that forces every
+// forwarded exit back through the live recursion. Plans are compiled from the
+// same recursion the live path runs, so results are byte-identical either
+// way; the env var exists so that claim stays testable, not because the modes
+// may legitimately differ.
+const NoPlanCacheEnv = "NVSIM_NOPLANCACHE"
+
+// PlanCacheStats counts forward-plan cache activity. Deliberately kept on the
+// World rather than in trace.Stats: cache meta-traffic depends on whether the
+// cache is on at all, and must not leak into experiment output (which is
+// byte-identical across cache modes).
+type PlanCacheStats struct {
+	// Compiles counts cold walks of the forwarding recursion.
+	Compiles uint64
+	// Replays counts forwarded exits served from a compiled plan.
+	Replays uint64
+	// Invalidations counts plan-table flushes caused by a moved topology,
+	// cost-model or capability generation.
+	Invalidations uint64
+}
 
 // World binds a host hypervisor, its cost model and the registered
 // direct-handling interceptors into the execution engine guest operations
@@ -33,6 +57,12 @@ type World struct {
 	// (timer firing), where no Execute caller exists to receive it. Sticky;
 	// read it with AsyncErr after draining the engine.
 	asyncErr error
+	// planCacheOff disables forward-plan replay (see NoPlanCacheEnv and
+	// SetPlanCache); the default is cache on.
+	planCacheOff bool
+	// Plan counts forward-plan cache activity (compiles, replays,
+	// invalidations) for tests and diagnostics.
+	Plan PlanCacheStats
 }
 
 // AsyncErr returns the first error raised by work the world scheduled on the
@@ -47,9 +77,41 @@ func (w *World) setAsyncErr(err error) {
 	}
 }
 
-// NewWorld wraps a host hypervisor with the default cost model.
+// NewWorld wraps a host hypervisor with the default cost model. The
+// forward-plan replay cache is on unless NVSIM_NOPLANCACHE is set (same
+// convention as NVSIM_PARALLEL: "" and "0" mean default behavior).
 func NewWorld(host *Hypervisor) *World {
-	return &World{Host: host, Costs: DefaultCosts()}
+	w := &World{Host: host, Costs: DefaultCosts()}
+	if v := os.Getenv(NoPlanCacheEnv); v != "" && v != "0" {
+		w.planCacheOff = true
+	}
+	return w
+}
+
+// SetPlanCache toggles the forward-plan replay cache, overriding the
+// NVSIM_NOPLANCACHE default. Intended for A/B tests; both modes produce
+// byte-identical simulation results.
+func (w *World) SetPlanCache(on bool) { w.planCacheOff = !on }
+
+// PlanCacheEnabled reports whether forwarded exits replay compiled plans.
+func (w *World) PlanCacheEnabled() bool { return !w.planCacheOff }
+
+// SetCosts replaces the world's cost model and bumps the machine's cost
+// generation so compiled forward plans (which bake cycle costs in) are
+// recompiled. Mutating w.Costs fields directly is reserved for setup before
+// the first forwarded exit; any later recalibration must go through here.
+func (w *World) SetCosts(c CostModel) {
+	w.Costs = c
+	w.Host.Machine.CostGen++
+}
+
+// SetHostCaps replaces the host hypervisor's capability word and bumps the
+// machine's caps generation. Host capabilities (VMCS shadowing in
+// particular) shape the forwarding recursion, so any post-setup change must
+// invalidate compiled plans.
+func (w *World) SetHostCaps(caps vmx.Caps) {
+	w.Host.Caps = caps
+	w.Host.Machine.CapsGen++
 }
 
 // stack returns the hypervisor at each level beneath v: stack[0] is the

@@ -109,6 +109,16 @@ type Machine struct {
 	// walks — carry the generation they were built at and rebuild when it
 	// moves, which keeps the steady-state exit path allocation-free.
 	TopoGen uint64
+	// CostGen counts cost-model mutations (World.SetCosts). Compiled forward
+	// plans bake calibrated cycle costs in, so any recalibration must move
+	// this generation; direct field pokes on a World's CostModel bypass the
+	// cache contract and are reserved for setup before the first exit.
+	CostGen uint64
+	// CapsGen counts capability-word mutations after setup (DVH enablement
+	// advertising virtual-hardware bits, vIOMMU provisioning, tests toggling
+	// VMCS shadowing). Plans depend on host capabilities, so mutating a caps
+	// word without moving this generation leaves stale compiled plans behind.
+	CapsGen uint64
 }
 
 // New assembles a machine from the config.

@@ -19,7 +19,10 @@ func TestMigrationCarriesDVHState(t *testing.T) {
 		m := machine.MustNew(machine.Config{Name: name, CPUs: 10, MemoryBytes: 64 << 30, Caps: vmx.HardwareCaps})
 		host := hyper.NewHost(m, hyper.KVM{})
 		w := hyper.NewWorld(host)
-		d := core.Enable(w, core.FeaturesAll)
+		d, err := core.Enable(w, core.FeaturesAll)
+		if err != nil {
+			t.Fatal(err)
+		}
 		l1, err := host.CreateVM(hyper.VMConfig{Name: "L1", VCPUs: 6, MemBytes: 8 << 30})
 		if err != nil {
 			t.Fatal(err)

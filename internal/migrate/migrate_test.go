@@ -29,7 +29,10 @@ func buildRig(t *testing.T, features core.Features) *rig {
 		w := hyper.NewWorld(host)
 		var d *core.DVH
 		if features != 0 {
-			d = core.Enable(w, features)
+			var err error
+			if d, err = core.Enable(w, features); err != nil {
+				t.Fatal(err)
+			}
 		}
 		l1, err := host.CreateVM(hyper.VMConfig{Name: "L1", VCPUs: 6, MemBytes: 8 << 30})
 		if err != nil {

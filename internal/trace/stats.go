@@ -48,6 +48,15 @@ func (s *Stats) RecordHardwareExit(r vmx.ExitReason) {
 	s.HardwareExits[r.Index()]++
 }
 
+// AddHardwareExits notes n physical VM exits with the same reason — the bulk
+// form RecordHardwareExit aggregates to when a compiled forward plan is
+// replayed. Calling it is arithmetically identical to n RecordHardwareExit
+// calls (counter addition commutes), which is what keeps replayed runs
+// byte-identical to recomputed ones.
+func (s *Stats) AddHardwareExits(r vmx.ExitReason, n uint64) {
+	s.HardwareExits[r.Index()] += n
+}
+
 // RecordHandledExit notes that a logical exit with the given reason was
 // handled by the hypervisor at the given level.
 func (s *Stats) RecordHandledExit(r vmx.ExitReason, level int) {
@@ -58,6 +67,19 @@ func (s *Stats) RecordHandledExit(r vmx.ExitReason, level int) {
 		level = MaxLevels - 1
 	}
 	s.HandledExits[r.Index()][level]++
+}
+
+// AddHandledExits notes n logical exits with the same (reason, handler
+// level) — the bulk companion of AddHardwareExits, with the same clamping as
+// RecordHandledExit.
+func (s *Stats) AddHandledExits(r vmx.ExitReason, level int, n uint64) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= MaxLevels {
+		level = MaxLevels - 1
+	}
+	s.HandledExits[r.Index()][level] += n
 }
 
 // ChargeLevel attributes cycles to a hypervisor level.

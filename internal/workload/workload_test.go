@@ -75,7 +75,10 @@ func buildL2(t testing.TB, dvhFeatures core.Features) (*hyper.World, *hyper.VM, 
 	w := hyper.NewWorld(host)
 	var d *core.DVH
 	if dvhFeatures != 0 {
-		d = core.Enable(w, dvhFeatures)
+		var err error
+		if d, err = core.Enable(w, dvhFeatures); err != nil {
+			t.Fatal(err)
+		}
 	}
 	l1, err := host.CreateVM(hyper.VMConfig{Name: "L1", VCPUs: 6, MemBytes: 24 << 30})
 	if err != nil {

@@ -20,7 +20,10 @@ func buildXenOnKVM(t *testing.T, features core.Features) (*core.DVH, *hyper.Worl
 	w := hyper.NewWorld(host)
 	var d *core.DVH
 	if features != 0 {
-		d = core.Enable(w, features)
+		var err error
+		if d, err = core.Enable(w, features); err != nil {
+			t.Fatal(err)
+		}
 	}
 	l1, err := host.CreateVM(hyper.VMConfig{Name: "L1-xen", VCPUs: 6, MemBytes: 24 << 30})
 	if err != nil {
