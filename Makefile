@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare lint fuzz-smoke fuzz check clean
+.PHONY: all build vet test race bench bench-compare lint fuzz-smoke fuzz golden check clean
 
 all: check
 
@@ -51,6 +51,13 @@ fuzz-smoke fuzz:
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test ./internal/check/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
 	done
+
+# golden regenerates the committed experiment fixtures (Table 3, Figures
+# 7-10, the per-stage breakdown) in place. Only for deliberate model changes:
+# `make check` diffs every fixture byte-for-byte via TestGoldenMatrix, so an
+# accidental regeneration fails the gate as a diff in git, not silently.
+golden:
+	NVSIM_UPDATE_GOLDEN=1 $(GO) test ./internal/experiment/ -run TestGoldenMatrix -count=1
 
 # check is the full gate: everything must build, vet clean, lint clean
 # under nvlint, pass the test suite under the race detector (the parallel

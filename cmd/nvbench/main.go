@@ -21,7 +21,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate a table (3)")
 	figure := flag.Int("figure", 0, "regenerate a figure (7, 8, 9, 10)")
-	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | latency)")
+	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | stages | latency)")
 	all := flag.Bool("all", false, "regenerate everything")
 	par := flag.Int("parallel", 0, "worker goroutines for experiment cells: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
 	flag.StringVar(&format, "format", "table", "figure output format: table | chart | csv")
@@ -79,11 +79,14 @@ func main() {
 	if *all || *exp == "breakdown" {
 		run("Per-mechanism cycle attribution (the cause behind Figure 8)", breakdown)
 	}
+	if *all || *exp == "stages" {
+		run("Per-stage cycle attribution of Table 3 (the pipeline view)", stageBreakdown)
+	}
 	if *all || *exp == "latency" {
 		run("Per-transaction latency tails", latency)
 	}
-	if !*all && *exp != "" && *exp != "migration" && *exp != "depth" && *exp != "breakdown" && *exp != "latency" {
-		fatalf("unknown experiment %q (available: migration, depth, breakdown, latency)", *exp)
+	if !*all && *exp != "" && *exp != "migration" && *exp != "depth" && *exp != "breakdown" && *exp != "stages" && *exp != "latency" {
+		fatalf("unknown experiment %q (available: migration, depth, breakdown, stages, latency)", *exp)
 	}
 }
 
@@ -144,6 +147,14 @@ func breakdown() (string, error) {
 		return "", err
 	}
 	return experiment.FormatBreakdown(rows), nil
+}
+
+func stageBreakdown() (string, error) {
+	rows, err := experiment.StageBreakdown()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatStageBreakdown(rows), nil
 }
 
 func latency() (string, error) {

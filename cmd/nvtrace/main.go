@@ -5,6 +5,7 @@
 //
 //	nvtrace -depth 2 -micro Hypercall
 //	nvtrace -depth 3 -micro ProgramTimer -dvh
+//	nvtrace -depth 3 -micro Hypercall -stages
 package main
 
 import (
@@ -22,6 +23,8 @@ func main() {
 	micro := flag.String("micro", "Hypercall", "microbenchmark: Hypercall | DevNotify | ProgramTimer | SendIPI")
 	dvh := flag.Bool("dvh", false, "enable DVH")
 	timeline := flag.Bool("timeline", false, "print the per-exit timeline, indented by handler level")
+	stages := flag.Bool("stages", false, "print per-stage cycle attribution and latency histograms")
+	ring := flag.Int("ring", 4096, "timeline ring-buffer capacity (exits retained)")
 	flag.Parse()
 
 	var m workload.Micro
@@ -36,6 +39,15 @@ func main() {
 		m = workload.MicroSendIPI
 	default:
 		fmt.Fprintf(os.Stderr, "nvtrace: unknown microbenchmark %q\n", *micro)
+		os.Exit(2)
+	}
+
+	if *depth < 1 || *depth > 3 {
+		fmt.Fprintf(os.Stderr, "nvtrace: -depth must be between 1 and 3, got %d\n", *depth)
+		os.Exit(2)
+	}
+	if *ring < 1 {
+		fmt.Fprintf(os.Stderr, "nvtrace: -ring must be positive, got %d\n", *ring)
 		os.Exit(2)
 	}
 
@@ -55,17 +67,30 @@ func main() {
 
 	st.Machine.Stats.Reset()
 	if *timeline {
-		st.World.Tracer = trace.NewRecorder(4096)
+		st.World.Tracer = trace.NewRecorder(*ring)
 	}
-	cycles, err := workload.RunMicro(st.World, st.Target.VCPUs[0], m, st.Net, 1)
+	var ss *trace.StageStats
+	if *stages {
+		ss = &trace.StageStats{}
+	}
+	cycles, err := workload.RunMicroObserved(st.World, st.Target.VCPUs[0], m, st.Net, 1, ss)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s from L%d (dvh=%v): %v cycles\n\n", m, *depth, *dvh, cycles)
 	fmt.Print(st.Machine.Stats.String())
+	if *stages {
+		fmt.Println("\nper-stage attribution:")
+		fmt.Print(ss.String())
+	}
 	if *timeline {
+		retained := len(st.World.Tracer.Events())
+		total := st.World.Tracer.Len()
 		fmt.Println("\nexit timeline:")
+		if uint64(retained) < total {
+			fmt.Printf("(%d of %d exits retained; oldest dropped — raise -ring)\n", retained, total)
+		}
 		fmt.Print(st.World.Tracer.Timeline())
 	}
 }

@@ -53,6 +53,13 @@ func TestGoldenMatrix(t *testing.T) {
 			}
 			return FormatAppResults("Figure 10: application performance, Xen on KVM", r), nil
 		}},
+		{"stagebreakdown.golden", func() (string, error) {
+			rows, err := StageBreakdown()
+			if err != nil {
+				return "", err
+			}
+			return FormatStageBreakdown(rows), nil
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -61,7 +68,14 @@ func TestGoldenMatrix(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := os.ReadFile(filepath.Join("testdata", "golden", tc.fixture))
+			path := filepath.Join("testdata", "golden", tc.fixture)
+			if os.Getenv("NVSIM_UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}

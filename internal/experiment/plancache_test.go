@@ -28,6 +28,14 @@ func renderMatrix(t *testing.T) string {
 		t.Fatal(err)
 	}
 	out += FormatAppResults("Figure 8", f8)
+	// The per-stage attribution of every Table 3 cell rides along: its
+	// byte-identity across cache modes and widths is the tentpole claim that
+	// stage observability cannot tell replayed plans from the live recursion.
+	sb, err := StageBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += FormatStageBreakdown(sb)
 	return out
 }
 

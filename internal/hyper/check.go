@@ -21,6 +21,11 @@ const (
 	BoundaryWake
 )
 
+// boundaryCount is the number of boundaries (for per-boundary ledgers); it
+// must stay in lockstep with trace.NumBoundaries (compile-asserted in
+// pipeline.go).
+const boundaryCount = int(BoundaryWake) + 1
+
 func (b Boundary) String() string {
 	switch b {
 	case BoundaryExecute:

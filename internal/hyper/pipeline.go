@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmx"
 )
 
@@ -53,6 +54,16 @@ const (
 
 // stageCount is the number of pipeline stages (for per-stage ledgers).
 const stageCount = int(StageSettle) + 1
+
+// The trace package sizes StageStats' fixed tables by mirrored constants so
+// the observability layer stays allocation-free without importing hyper
+// (trace is below hyper in the import graph). These assertions fail to
+// compile if either enum grows without the mirror moving; a test pins the
+// display names too.
+var (
+	_ [trace.NumStages]struct{}     = [stageCount]struct{}{}
+	_ [trace.NumBoundaries]struct{} = [boundaryCount]struct{}{}
+)
 
 func (s Stage) String() string {
 	switch s {
@@ -144,7 +155,11 @@ func (w *World) newTx(v *VCPU, op Op, b Boundary) ExitContext {
 
 // begin opens the transaction. This is the only place a boundary frame is
 // opened with the invariant checker: entry points never bracket themselves.
+// The world's transaction depth tracks how deeply boundaries are nested so
+// settle can tell an outermost transaction (observed by StageStats) from a
+// nested one (whose cost the enclosing ledger already holds).
 func (w *World) begin(tx *ExitContext) {
+	w.txDepth++
 	if w.Check == nil {
 		return
 	}
@@ -159,6 +174,7 @@ func (w *World) begin(tx *ExitContext) {
 // cycle-conservation frame excuses only on the error path).
 func (w *World) settle(tx *ExitContext, err error) (sim.Cycles, error) {
 	tx.Stage = StageSettle
+	w.txDepth--
 	cost := tx.Cost
 	if err != nil {
 		cost = 0
@@ -169,7 +185,32 @@ func (w *World) settle(tx *ExitContext, err error) (sim.Cycles, error) {
 	if err != nil {
 		return 0, err
 	}
+	if w.txDepth == 0 && w.Stages != nil {
+		w.observeStages(tx)
+	}
 	return cost, nil
+}
+
+// observeStages walks a settled outermost transaction's cost ledger into the
+// attached StageStats — the pipeline's only observation point for per-stage
+// latency attribution. Nested transactions are not observed: their costs are
+// already folded into the enclosing ledger at the stage that invoked them
+// (an IPI's wake lands in the outer StageForward lump, a cascade kick in the
+// outer StageEmulate/StageForward), so every settled cycle is attributed
+// exactly once. Only the Execute boundary carries an exit reason; deliveries
+// pass reason < 0 and appear in the boundary table alone. Allocation-free:
+// fixed loops over the stack-resident ledger into fixed-size tables.
+func (w *World) observeStages(tx *ExitContext) {
+	reason := -1
+	if tx.Boundary == BoundaryExecute {
+		reason = tx.Reason.Index()
+	}
+	w.Stages.ObserveSettled(int(tx.Boundary))
+	for s := 0; s < stageCount; s++ {
+		if c := tx.ledger[s]; c != 0 {
+			w.Stages.ObserveStage(int(tx.Boundary), reason, s, c)
+		}
+	}
 }
 
 // Interceptor is a direct-handling backend registered on a World: at

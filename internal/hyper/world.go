@@ -50,6 +50,15 @@ type World struct {
 	// Tracer, when non-nil, records every hardware exit for timeline
 	// inspection (cmd/nvtrace). A nil recorder costs nothing.
 	Tracer *trace.Recorder
+	// Stages, when non-nil, receives per-stage cycle attribution for every
+	// settled outermost transaction (cmd/nvtrace -stages, the experiment
+	// stage-breakdown figure). Attach with AttachStageStats or set directly;
+	// a nil sink costs one branch at settle.
+	Stages *trace.StageStats
+	// txDepth is the current boundary nesting depth (begin increments,
+	// settle decrements): 1 means the settling transaction is outermost and
+	// is the one StageStats observes.
+	txDepth int
 	// Check, when non-nil, observes every boundary entry/exit for invariant
 	// validation (internal/check). A nil checker costs one branch.
 	Check InvariantChecker
@@ -87,6 +96,13 @@ func NewWorld(host *Hypervisor) *World {
 	}
 	return w
 }
+
+// AttachStageStats installs (or, with nil, detaches) the per-stage latency
+// sink the settle point feeds. Both replay-cached and live forwarded exits
+// charge their lump to StageForward through the same ExitContext.add call,
+// so attaching stage stats never perturbs — and is never perturbed by — the
+// plan-cache mode.
+func (w *World) AttachStageStats(ss *trace.StageStats) { w.Stages = ss }
 
 // SetPlanCache toggles the forward-plan replay cache, overriding the
 // NVSIM_NOPLANCACHE default. Intended for A/B tests; both modes produce

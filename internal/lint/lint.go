@@ -108,6 +108,11 @@ func ModuleConfig(dir string) (Config, error) {
 	cfg.HotRoots = []string{
 		mp + "/internal/hyper.(*World).Execute",
 		mp + "/internal/hyper.Interceptor.TryHandle",
+		// The per-stage observability sink runs at every outermost settle,
+		// inside Execute's allocation-freedom contract; rooting the observe
+		// methods directly keeps them covered even if the settle wiring moves.
+		mp + "/internal/trace.(*StageStats).ObserveStage",
+		mp + "/internal/trace.(*StageStats).ObserveSettled",
 	}
 	cfg.ByValueTypes = []string{mp + "/internal/hyper.Op"}
 	return cfg, nil

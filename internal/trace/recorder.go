@@ -41,13 +41,30 @@ func NewRecorder(capacity int) *Recorder {
 	return &Recorder{ring: make([]Event, capacity)}
 }
 
-// Record appends an event; on a nil recorder it is a no-op.
+// clampLevel clamps a recorded level into the accounting tables' range,
+// exactly like Stats.RecordHandledExit does: levels are data here, and a
+// negative one (e.g. an exit recorded while routing is still unresolved,
+// Owner == -1) must degrade to the edge row instead of poisoning the ring —
+// Timeline indents by handler level and strings.Repeat panics on a negative
+// count.
+func clampLevel(l int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= MaxLevels {
+		return MaxLevels - 1
+	}
+	return l
+}
+
+// Record appends an event; on a nil recorder it is a no-op. Levels are
+// clamped into [0, MaxLevels) with Stats' clamping rules.
 func (r *Recorder) Record(reason vmx.ExitReason, from, handler int) {
 	if r == nil {
 		return
 	}
 	r.seq++
-	r.ring[r.next] = Event{Seq: r.seq, Reason: reason, FromLevel: from, HandlerLevel: handler}
+	r.ring[r.next] = Event{Seq: r.seq, Reason: reason, FromLevel: clampLevel(from), HandlerLevel: clampLevel(handler)}
 	r.next = (r.next + 1) % len(r.ring)
 	r.count++
 }

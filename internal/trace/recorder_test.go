@@ -50,7 +50,7 @@ func TestRecorderRingEviction(t *testing.T) {
 	if len(evs) != 4 {
 		t.Fatalf("retained %d, want capacity 4", len(evs))
 	}
-	if evs[0].FromLevel != 6 || evs[3].FromLevel != 9 {
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
 		t.Fatalf("ring retained wrong window: %+v", evs)
 	}
 }
@@ -78,6 +78,40 @@ func TestTimelineRendering(t *testing.T) {
 	if !strings.Contains(out, "from L1 -> handled by L0") {
 		t.Fatalf("timeline:\n%s", out)
 	}
+}
+
+// TestRecorderClampsLevels is the regression test for the Timeline panic:
+// Record used to store negative from/handler levels verbatim, and Timeline's
+// indentation (strings.Repeat of the handler level) panicked on them. Levels
+// now clamp with Stats' rules: negative to 0, >= MaxLevels to MaxLevels-1.
+func TestRecorderClampsLevels(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(vmx.ExitHLT, -3, -1)
+	r.Record(vmx.ExitVMCALL, MaxLevels+5, MaxLevels)
+	evs := r.Events()
+	if evs[0].FromLevel != 0 || evs[0].HandlerLevel != 0 {
+		t.Fatalf("negative levels not clamped to 0: %+v", evs[0])
+	}
+	if evs[1].FromLevel != MaxLevels-1 || evs[1].HandlerLevel != MaxLevels-1 {
+		t.Fatalf("overflowing levels not clamped to %d: %+v", MaxLevels-1, evs[1])
+	}
+	out := r.Timeline() // must not panic
+	if !strings.Contains(out, "from L0 -> handled by L0") {
+		t.Fatalf("timeline:\n%s", out)
+	}
+}
+
+// TestRecordRunClampsLevels covers the RecordRun entry point, which shares
+// Record's clamping.
+func TestRecordRunClampsLevels(t *testing.T) {
+	r := NewRecorder(8)
+	r.RecordRun(vmx.ExitVMREAD, -2, -7, 3)
+	for _, e := range r.Events() {
+		if e.FromLevel < 0 || e.HandlerLevel < 0 {
+			t.Fatalf("RecordRun stored a negative level: %+v", e)
+		}
+	}
+	_ = r.Timeline() // must not panic
 }
 
 func TestRecorderDefaultCapacity(t *testing.T) {

@@ -248,11 +248,30 @@ func (r *Runner) Utilization() map[int]sim.Cycles {
 // average cost in cycles over iters iterations (the paper reports cycles, so
 // no throughput conversion is involved).
 func RunMicro(w *hyper.World, v *hyper.VCPU, m Micro, net *hyper.AssignedDevice, iters int) (sim.Cycles, error) {
+	return RunMicroObserved(w, v, m, net, iters, nil)
+}
+
+// RunMicroObserved is RunMicro with per-stage attribution: when ss is
+// non-nil it is attached to the world around exactly the measured operations,
+// so the stage totals decompose the returned average — SendIPI's
+// per-iteration setup halt (whose cost the metric excludes, like Table 1's)
+// is executed with the sink detached. The world's previously attached sink
+// is restored on return; with ss nil the behavior is RunMicro's, untouched.
+func RunMicroObserved(w *hyper.World, v *hyper.VCPU, m Micro, net *hyper.AssignedDevice, iters int, ss *trace.StageStats) (sim.Cycles, error) {
 	if iters <= 0 {
 		iters = 1
 	}
+	if ss != nil {
+		prev := w.Stages
+		defer w.AttachStageStats(prev)
+	}
 	var total sim.Cycles
 	for i := 0; i < iters; i++ {
+		if ss != nil {
+			// Setup operations (SendIPI's halt of the destination) are not
+			// part of the reported metric, so they must not be attributed.
+			w.AttachStageStats(nil)
+		}
 		var op hyper.Op
 		switch m {
 		case MicroHypercall:
@@ -271,6 +290,9 @@ func RunMicro(w *hyper.World, v *hyper.VCPU, m Micro, net *hyper.AssignedDevice,
 				return 0, err
 			}
 			op = hyper.SendIPI(uint32(dest.ID), apic.VectorReschedule)
+		}
+		if ss != nil {
+			w.AttachStageStats(ss)
 		}
 		c, err := w.Execute(v, op)
 		if err != nil {
