@@ -16,12 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs nvlint, the simulator-aware static analyzer (see DESIGN.md §8):
-# determinism, hot-path allocation-freedom, exit-reason exhaustiveness,
-# nopanic and the Op by-value contract. VERBOSE=1 also prints the hot-path
-# call chains and every suppressed finding with its justification.
+# lint runs nvlint, the simulator-aware static analyzer (see DESIGN.md §8 and
+# §13): determinism, hot-path allocation-freedom, exit-reason exhaustiveness,
+# nopanic, the Op by-value contract, and the v2 pipeline contracts (cachegen,
+# stageledger, interceptor, parity). -unused-directives keeps the suppression
+# inventory honest: a //nvlint comment that no longer suppresses anything
+# fails the gate. VERBOSE=1 also prints the hot-path call chains and every
+# suppressed finding with its justification.
 lint:
-	$(GO) run ./cmd/nvlint $(if $(VERBOSE),-v,)
+	$(GO) run ./cmd/nvlint -unused-directives $(if $(VERBOSE),-v,)
 
 # bench runs the harness and hot-path benchmarks: Figure 7 sequential vs
 # parallel pool, and the allocation-free nested Execute path in both plan

@@ -249,8 +249,6 @@ func lapicOverlap(l *apic.LAPIC) (word int, overlap uint64, bad bool) {
 
 // vcpuName renders a vCPU identity for a violation message; it allocates and
 // must only be called on breach-reporting paths.
-//
-//nvlint:cold
 func vcpuName(v *hyper.VCPU) string {
 	if v == nil {
 		return "<none>"

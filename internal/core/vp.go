@@ -249,14 +249,12 @@ func (v *vpDMA) forEachPage(a mem.Addr, n int, fn func(l1 mem.Addr, off, step in
 }
 
 func (v *vpDMA) Read(a mem.Addr, buf []byte) error {
-	//nvlint:ignore hotalloc closure is called directly by forEachPage and does not escape (stack-allocated)
 	return v.forEachPage(a, len(buf), func(l1 mem.Addr, off, step int, _ mem.PFN) error {
 		return v.vp.holder.Memory().Read(l1, buf[off:off+step])
 	})
 }
 
 func (v *vpDMA) Write(a mem.Addr, buf []byte) error {
-	//nvlint:ignore hotalloc closure is called directly by forEachPage and does not escape (stack-allocated)
 	return v.forEachPage(a, len(buf), func(l1 mem.Addr, off, step int, page mem.PFN) error {
 		v.vp.HostDirty.Set(uint64(page))
 		return v.vp.holder.Memory().Write(l1, buf[off:off+step])

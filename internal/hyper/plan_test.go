@@ -217,6 +217,23 @@ func TestForwardPlanInvalidation(t *testing.T) {
 		}
 	})
 
+	t.Run("viommu-caps", func(t *testing.T) {
+		// Regression: ProvideVIOMMU rewrites capability words after setup
+		// (the DVH enablement path) and must bump CapsGen like SetHostCaps
+		// does — nvlint's cachegen rule caught it replaying stale plans.
+		w, vms := testStack(t, 2)
+		v := vms[1].VCPUs[0]
+		exec(t, w, v, Hypercall())
+		exec(t, w, v, Hypercall())
+		compiles := w.Plan.Compiles
+
+		vms[0].ProvideVIOMMU(true)
+		exec(t, w, v, Hypercall())
+		if w.Plan.Compiles == compiles {
+			t.Errorf("vIOMMU grant did not recompile plans (compiles stuck at %d); CapsGen bump missing", compiles)
+		}
+	})
+
 	t.Run("topology", func(t *testing.T) {
 		w, vms := testStack(t, 2)
 		v := vms[1].VCPUs[0]

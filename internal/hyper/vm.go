@@ -258,6 +258,10 @@ func (vm *VM) ProvideVIOMMU(posted bool) *iommu.IOMMU {
 	if vm.GuestHyp != nil {
 		vm.GuestHyp.Caps = vm.Caps
 	}
+	// Capability words shape compiled forward plans; like SetHostCaps, a
+	// post-setup vIOMMU grant must move CapsGen or a cached plan would
+	// replay the pre-vIOMMU exit tree.
+	vm.Owner.Machine.CapsGen++
 	return vm.VIOMMU
 }
 
@@ -412,7 +416,6 @@ func (g *GuestMemory) Read(a mem.Addr, buf []byte) error {
 
 // Write copies bytes into guest memory, marking dirty pages at every level.
 func (g *GuestMemory) Write(a mem.Addr, buf []byte) error {
-	//nvlint:ignore hotalloc closure is called directly by chunked and does not escape (stack-allocated)
 	return g.chunked(a, len(buf), mem.PermWrite, func(host mem.Addr, off, n int) error {
 		g.vm.markWrite(mem.PageOf(a + mem.Addr(off)))
 		return g.vm.Owner.Machine.Memory.Write(host, buf[off:off+n])
@@ -479,8 +482,6 @@ func (v *VCPU) AncestorAt(level int) (*VCPU, error) {
 
 // Path renders the nesting ancestry for diagnostics. It allocates freely and
 // is only ever called to label an error that aborts the operation anyway.
-//
-//nvlint:cold
 func (v *VCPU) Path() string {
 	s := fmt.Sprintf("%s/vcpu%d", v.VM.Name, v.ID)
 	if v.Parent != nil {

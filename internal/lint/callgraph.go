@@ -15,8 +15,22 @@ type callGraph struct {
 	prog *program
 	// edges maps a caller to its deterministic, deduplicated callee list.
 	edges map[*types.Func][]*types.Func
+	// cutEdges holds the edges removed by //nvlint:ignore hotalloc call-site
+	// directives. The hotalloc walk honors the cuts; the cache-soundness and
+	// interceptor walks must not (an allocation waiver is not a semantic
+	// waiver), so they traverse edges ∪ cutEdges.
+	cutEdges map[*types.Func][]*types.Func
+	// cuts records which directive cut edges in which caller, so a cut is
+	// counted as "used" only when the caller actually lands in the hot set.
+	cuts []cutRecord
 	// implCache memoizes CHA results per interface method.
 	implCache map[string][]*types.Func
+}
+
+// cutRecord pairs an edge-cutting directive with the function it cut in.
+type cutRecord struct {
+	caller *types.Func
+	dir    *directive
 }
 
 // buildCallGraph scans every module function body once.
@@ -24,6 +38,7 @@ func buildCallGraph(prog *program) *callGraph {
 	g := &callGraph{
 		prog:      prog,
 		edges:     make(map[*types.Func][]*types.Func),
+		cutEdges:  make(map[*types.Func][]*types.Func),
 		implCache: make(map[string][]*types.Func),
 	}
 	for _, pkg := range prog.pkgs {
@@ -51,6 +66,7 @@ func buildCallGraph(prog *program) *callGraph {
 // pull their helpers into the hot set: bail-out paths may allocate.
 func (g *callGraph) scanBody(pkg *Package, dirs *fileDirectives, caller *types.Func, body *ast.BlockStmt) {
 	seen := make(map[*types.Func]bool)
+	seenCut := make(map[*types.Func]bool)
 	exempt := errorReturnRanges(pkg, body)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -63,11 +79,17 @@ func (g *callGraph) scanBody(pkg *Package, dirs *fileDirectives, caller *types.F
 			}
 		}
 		line := g.prog.fset.Position(call.Pos()).Line
-		if _, cut := dirs.suppression(RuleHotAlloc, line); cut {
-			return true
-		}
+		cutBy := dirs.suppressionDirective(RuleHotAlloc, line)
 		for _, callee := range g.callees(pkg, call) {
 			if _, inModule := g.prog.funcs[callee]; !inModule {
+				continue
+			}
+			if cutBy != nil {
+				if !seenCut[callee] {
+					seenCut[callee] = true
+					g.cutEdges[caller] = append(g.cutEdges[caller], callee)
+					g.cuts = append(g.cuts, cutRecord{caller: caller, dir: cutBy})
+				}
 				continue
 			}
 			if !seen[callee] {
@@ -79,6 +101,9 @@ func (g *callGraph) scanBody(pkg *Package, dirs *fileDirectives, caller *types.F
 	})
 	sort.Slice(g.edges[caller], func(i, j int) bool {
 		return funcID(g.edges[caller][i]) < funcID(g.edges[caller][j])
+	})
+	sort.Slice(g.cutEdges[caller], func(i, j int) bool {
+		return funcID(g.cutEdges[caller][i]) < funcID(g.cutEdges[caller][j])
 	})
 }
 
@@ -152,6 +177,48 @@ func (g *callGraph) hotSet(roots []*types.Func) map[*types.Func][]string {
 				continue
 			}
 			if fd, ok := g.prog.funcs[callee]; ok && funcMarker(fd.decl) == "cold" {
+				markFuncMarkerUsed(fd.pkg, fd.decl, "cold")
+				continue
+			}
+			visited[callee] = true
+			parent[callee] = cur
+			queue = append(queue, callee)
+		}
+	}
+	out := make(map[*types.Func][]string, len(visited))
+	for fn := range visited { //nvlint:ordered consumers sort by function identity
+		var chain []string
+		for cur := fn; cur != nil; cur = parent[cur] {
+			chain = append(chain, funcID(cur))
+		}
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		out[fn] = chain
+	}
+	return out
+}
+
+// reach walks the graph from the roots over edges ∪ cutEdges — no cold
+// pruning, no hotalloc cut honoring — and returns every reachable module
+// function with its shortest call chain from a root. The semantic rules
+// (cachegen, interceptor) use this walk: a function excused from the
+// allocation contract still participates in plan compilation or interception.
+func (g *callGraph) reach(roots []*types.Func) map[*types.Func][]string {
+	parent := make(map[*types.Func]*types.Func)
+	visited := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	sort.Slice(queue, func(i, j int) bool { return funcID(queue[i]) < funcID(queue[j]) })
+	for _, r := range queue {
+		visited[r] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		callees := append(append([]*types.Func(nil), g.edges[cur]...), g.cutEdges[cur]...)
+		sort.Slice(callees, func(i, j int) bool { return funcID(callees[i]) < funcID(callees[j]) })
+		for _, callee := range callees {
+			if visited[callee] {
 				continue
 			}
 			visited[callee] = true

@@ -20,26 +20,41 @@ import (
 //	                                  hot set even if reachable
 const directivePrefix = "//nvlint:"
 
-// ignoreDirective is one parsed //nvlint:ignore.
-type ignoreDirective struct {
-	rule   string
+// directive is one parsed nvlint comment. Every rule that consults a
+// directive marks it used; directives still unused after a full run suppress
+// nothing and are themselves reportable (nvlint -unused-directives).
+type directive struct {
+	// verb is ignore, ordered, hot or cold; anything else is an unknown
+	// directive and reported outright.
+	verb string
+	// rule is the suppressed rule for ignore directives.
+	rule string
+	// reason is the justification text.
 	reason string
+	// pos and line locate the comment itself.
+	pos  token.Pos
+	line int
+	// used records that the directive suppressed a finding, allowlisted a map
+	// range, cut a hot call-graph edge, or pruned/rooted a hot function.
+	used bool
 }
 
 // fileDirectives indexes one file's directives by source line.
 type fileDirectives struct {
+	// all holds every directive in the file, in source order.
+	all []*directive
 	// ignores maps a line to the suppressions covering it. A directive on
 	// line N covers lines N and N+1 (inline and statement-above styles).
-	ignores map[int][]ignoreDirective
+	ignores map[int][]*directive
 	// ordered marks lines where a map range is explicitly allowed.
-	ordered map[int]string
+	ordered map[int]*directive
 }
 
 // parseDirectives extracts the nvlint directives from one file's comments.
 func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 	d := &fileDirectives{
-		ignores: map[int][]ignoreDirective{},
-		ordered: map[int]string{},
+		ignores: map[int][]*directive{},
+		ordered: map[int]*directive{},
 	}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
@@ -51,18 +66,19 @@ func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 			body := strings.TrimPrefix(text, directivePrefix)
 			verb, rest, _ := strings.Cut(body, " ")
 			rest = strings.TrimSpace(rest)
+			dir := &directive{verb: verb, reason: rest, pos: c.Pos(), line: line}
+			d.all = append(d.all, dir)
 			switch verb {
 			case "ignore":
 				rule, reason, _ := strings.Cut(rest, " ")
+				dir.rule = rule
+				dir.reason = strings.TrimSpace(reason)
 				for _, l := range []int{line, line + 1} {
-					d.ignores[l] = append(d.ignores[l], ignoreDirective{
-						rule:   rule,
-						reason: strings.TrimSpace(reason),
-					})
+					d.ignores[l] = append(d.ignores[l], dir)
 				}
 			case "ordered":
-				d.ordered[line] = rest
-				d.ordered[line+1] = rest
+				d.ordered[line] = dir
+				d.ordered[line+1] = dir
 			}
 		}
 	}
@@ -70,19 +86,36 @@ func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
 }
 
 // suppression returns the reason an active //nvlint:ignore covers this rule at
-// this line, and whether one does.
+// this line, and whether one does. A hit marks the directive used.
 func (d *fileDirectives) suppression(rule string, line int) (string, bool) {
 	for _, ig := range d.ignores[line] {
 		if ig.rule == rule {
+			ig.used = true
 			return ig.reason, true
 		}
 	}
 	return "", false
 }
 
-// orderedAt reports whether a map range at this line is allowlisted.
+// suppressionDirective is like suppression but returns the directive without
+// marking it used — for call sites that must decide usage later (hot-edge
+// cuts, which only matter if the caller turns out hot).
+func (d *fileDirectives) suppressionDirective(rule string, line int) *directive {
+	for _, ig := range d.ignores[line] {
+		if ig.rule == rule {
+			return ig
+		}
+	}
+	return nil
+}
+
+// orderedAt reports whether a map range at this line is allowlisted, marking
+// the directive used when it is.
 func (d *fileDirectives) orderedAt(line int) bool {
-	_, ok := d.ordered[line]
+	dir, ok := d.ordered[line]
+	if ok {
+		dir.used = true
+	}
 	return ok
 }
 
@@ -103,4 +136,25 @@ func funcMarker(fd *ast.FuncDecl) string {
 		}
 	}
 	return ""
+}
+
+// markFuncMarkerUsed records that a //nvlint:hot or //nvlint:cold doc
+// directive on this declaration took effect.
+func markFuncMarkerUsed(pkg *Package, fd *ast.FuncDecl, verb string) {
+	if fd.Doc == nil {
+		return
+	}
+	file := fileOf(pkg, fd.Pos())
+	if file == nil {
+		return
+	}
+	dirs := pkg.Directives[file]
+	for _, dir := range dirs.all {
+		if dir.verb != verb {
+			continue
+		}
+		if dir.pos >= fd.Doc.Pos() && dir.pos <= fd.Doc.End() {
+			dir.used = true
+		}
+	}
 }

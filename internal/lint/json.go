@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+// jsonFinding is the machine-readable shape of one finding, emitted one JSON
+// object per line so CI and nvreport can stream-consume lint results.
+type jsonFinding struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Msg  string `json:"msg"`
+	// Kind is "finding", "suppressed" or "unused-directive".
+	Kind  string   `json:"kind"`
+	Chain []string `json:"chain,omitempty"`
+	// SuppressReason carries the //nvlint:ignore justification for
+	// suppressed findings.
+	SuppressReason string `json:"suppress_reason,omitempty"`
+	// DirectiveCandidates are the suppression comments that would silence
+	// the finding, for a reviewer to copy (after writing a real reason).
+	DirectiveCandidates []string `json:"directive_candidates,omitempty"`
+}
+
+// DirectiveCandidates returns the //nvlint comments that could suppress this
+// finding, most specific first. A finding about a stale directive has no
+// candidates: the fix is deleting the comment, not stacking another.
+func (f Finding) DirectiveCandidates() []string {
+	switch f.Rule {
+	case RuleDirective:
+		return nil
+	case RuleDeterminism:
+		if strings.Contains(f.Msg, "range over map") {
+			return []string{
+				"//nvlint:ordered <why iteration order cannot reach output>",
+				"//nvlint:ignore determinism <reason>",
+			}
+		}
+	case RuleHotAlloc:
+		return []string{
+			"//nvlint:ignore hotalloc <reason>",
+			"//nvlint:cold (on the containing function's doc comment)",
+		}
+	}
+	return []string{"//nvlint:ignore " + f.Rule + " <reason>"}
+}
+
+// EncodeJSON writes the result as JSON-lines: every active finding, then
+// every suppressed finding, then every unused directive, preserving the
+// deterministic (file, line, rule, msg) order within each class.
+func EncodeJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	emit := func(fs []Finding, kind string) error {
+		for _, f := range fs {
+			jf := jsonFinding{
+				Rule:           f.Rule,
+				File:           f.File,
+				Line:           f.Line,
+				Msg:            f.Msg,
+				Kind:           kind,
+				Chain:          f.Chain,
+				SuppressReason: f.SuppressReason,
+			}
+			if kind == "finding" {
+				jf.DirectiveCandidates = f.DirectiveCandidates()
+			}
+			if err := enc.Encode(jf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit(res.Findings, "finding"); err != nil {
+		return err
+	}
+	if err := emit(res.Suppressed, "suppressed"); err != nil {
+		return err
+	}
+	return emit(res.Unused, "unused-directive")
+}

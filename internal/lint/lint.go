@@ -18,6 +18,23 @@
 //	             constant or carry an explicit default
 //	nopanic      panic() is forbidden in non-test engine packages
 //	opbyvalue    hyper.Op is passed by value, never by pointer
+//
+// v2 rules (the architectural contracts of the exit pipeline):
+//
+//	cachegen     every field the forward-plan compiler reads is covered by a
+//	             generation counter (or explicitly allowlisted as a
+//	             non-input), generation setters really bump their counter,
+//	             and guarded fields are written only by their setter
+//	stageledger  every boundary that opens a transaction with begin settles
+//	             it exactly once on every path, and each function charges the
+//	             ExitContext ledger under a single statically-known stage
+//	interceptor  Interceptor implementations return literal (name, priority)
+//	             pairs, never mutate engine state before claiming an op, and
+//	             inherit the determinism contract wherever their code lives
+//	parity       mirrored constant tables (trace.NumStages vs the hyper stage
+//	             enum, vmx.ExitReason index density) cannot drift apart
+//	directive    //nvlint comments that no longer suppress anything are
+//	             themselves flagged (reported via -unused-directives)
 package lint
 
 import (
@@ -35,6 +52,11 @@ const (
 	RuleExhaustive  = "exhaustive"
 	RuleNoPanic     = "nopanic"
 	RuleOpByValue   = "opbyvalue"
+	RuleCacheGen    = "cachegen"
+	RuleStageLedger = "stageledger"
+	RuleInterceptor = "interceptor"
+	RuleParity      = "parity"
+	RuleDirective   = "directive"
 )
 
 // Config selects what to analyze and how.
@@ -60,6 +82,89 @@ type Config struct {
 	// ByValueTypes are named types that must never be passed by pointer or
 	// have their address taken, as "pkg/path.Name".
 	ByValueTypes []string
+	// CacheGen, when set, enables the plan-cache generation-soundness rule.
+	CacheGen *CacheGenConfig
+	// StageLedger, when set, enables the begin/settle and ledger-charge rule.
+	StageLedger *StageLedgerConfig
+	// Interceptor, when set, enables the interceptor-contract rule.
+	Interceptor *InterceptorConfig
+	// Parity, when set, enables the mirrored-constant parity rule.
+	Parity *ParityConfig
+}
+
+// CacheGenConfig configures the cachegen rule: the forward-plan replay cache
+// is sound only if every input the compile path reads is invalidated by a
+// generation counter. The rule walks the call graph from the compile roots
+// and flags any field read of a watched type that is not in the guarded set —
+// so a new cost or capability field wired into compilation without a matching
+// generation bump fails the build instead of serving stale plans.
+type CacheGenConfig struct {
+	// CompileRoots are the call-graph roots of the plan compile path
+	// ("pkg/path.(*Recv).Method" forms, as for HotRoots).
+	CompileRoots []string
+	// WatchedTypes are the named struct types ("pkg/path.Name") whose field
+	// reads on the compile path must be generation-guarded.
+	WatchedTypes []string
+	// GuardedReads allowlists compile-path reads: keys are "pkg/path.Type"
+	// (every field of the type) or "pkg/path.Type.Field" (one field); values
+	// name the generation counter or the reason the read is not a plan input.
+	GuardedReads map[string]string
+	// GenBumps maps a generation setter ("pkg/path.(*Recv).Method") to the
+	// counter field ("pkg/path.Type.Field") its body must increment. Deleting
+	// the bump from the setter fails the rule.
+	GenBumps map[string]string
+	// SetterOnly maps a guarded field ("pkg/path.Type.Field") to the only
+	// functions allowed to assign it; a write anywhere else would bypass the
+	// generation bump and is flagged.
+	SetterOnly map[string][]string
+}
+
+// StageLedgerConfig configures the stageledger rule: the pipeline's
+// single-settle-point contract, checked on every path instead of only
+// executed ones.
+type StageLedgerConfig struct {
+	// Begin and Settle are the transaction open/close methods
+	// ("pkg/path.(*Recv).Method"). Every function calling Begin must call it
+	// exactly once, must route every return through Settle, and may only call
+	// Settle inside a return statement; calling Settle without Begin is a
+	// boundary bypass.
+	Begin  string
+	Settle string
+	// Charge is the ledger-charge method ("pkg/path.(*Recv).Method"). Its
+	// stage argument must be a constant, and one function may charge only a
+	// single stage — per-stage attribution stays statically decidable.
+	Charge string
+	// StageField is the name of the transaction's current-stage field
+	// (default "Stage"); an assignment to it must agree with the stage the
+	// function charges.
+	StageField string
+}
+
+// InterceptorConfig configures the interceptor rule around a direct-handling
+// backend interface with InterceptorInfo/TryHandle-shaped methods.
+type InterceptorConfig struct {
+	// Iface is the interceptor interface ("pkg/path.Name").
+	Iface string
+	// InfoMethod (default "InterceptorInfo") must return only constant
+	// expressions in every implementation: chain order is part of the
+	// determinism contract.
+	InfoMethod string
+	// TryMethod (default "TryHandle") is the claim method: its first bool
+	// result is the handled flag and its last error result the failure
+	// channel. Implementations must not mutate engine state on any path that
+	// can still decline (return handled=false with a nil error).
+	TryMethod string
+}
+
+// ParityConfig configures the parity rule over mirrored constant tables.
+type ParityConfig struct {
+	// Mirrors are pairs of constant specs ("pkg/path.Name", exported or not)
+	// whose values must be equal; drift is reported with both decl sites.
+	Mirrors [][2]string
+	// DenseEnums are [enum type, bound constant] pairs: every declared
+	// constant of the type must be distinct and inside [0, bound), so dense
+	// index tables cannot silently merge two values.
+	DenseEnums [][2]string
 }
 
 // Finding is one rule violation.
@@ -89,6 +194,12 @@ type Result struct {
 	Findings []Finding
 	// Suppressed are findings covered by //nvlint:ignore, same order.
 	Suppressed []Finding
+	// Unused are the directives that took no effect during the run (rule
+	// "directive", same sort order). nvlint -unused-directives promotes them
+	// to failing findings; a stale suppression is a contract nobody checks.
+	Unused []Finding
+	// RulesRun lists the rule identifiers that executed, sorted.
+	RulesRun []string
 	// HotFuncs is the number of functions in the hot set (for -v).
 	HotFuncs int
 }
@@ -115,6 +226,72 @@ func ModuleConfig(dir string) (Config, error) {
 		mp + "/internal/trace.(*StageStats).ObserveSettled",
 	}
 	cfg.ByValueTypes = []string{mp + "/internal/hyper.Op"}
+	// cachegen: the forward-plan replay cache (internal/hyper/plan.go) bakes
+	// compile-path reads into cached plans; every one of them must be covered
+	// by a generation counter or be provably not a plan input. The walk from
+	// compileForwardPlan reaches both forwardSink implementations (the live
+	// World sink and the recording planBuilder) and every Personality, so
+	// the allowlist names exactly the state those read.
+	cfg.CacheGen = &CacheGenConfig{
+		CompileRoots: []string{mp + "/internal/hyper.(*World).compileForwardPlan"},
+		WatchedTypes: []string{
+			mp + "/internal/hyper.World",
+			mp + "/internal/hyper.Hypervisor",
+			mp + "/internal/hyper.CostModel",
+			mp + "/internal/hyper.VCPU",
+			mp + "/internal/hyper.VM",
+			mp + "/internal/machine.Machine",
+		},
+		GuardedReads: map[string]string{
+			mp + "/internal/hyper.CostModel":              "CostGen: World.SetCosts replaces the whole model and bumps Machine.CostGen",
+			mp + "/internal/hyper.World.Costs":            "CostGen: the sole write path is World.SetCosts",
+			mp + "/internal/hyper.World.Host":             "fixed at World construction",
+			mp + "/internal/hyper.World.Plan":             "cache meta-counters, not a plan input",
+			mp + "/internal/hyper.World.Tracer":           "emission sink, not a plan input",
+			mp + "/internal/hyper.Hypervisor.Caps":        "CapsGen: post-setup writers (SetHostCaps, ProvideVIOMMU) bump it",
+			mp + "/internal/hyper.Hypervisor.Personality": "TopoGen on stack changes, plus per-plan personality pinning at replay",
+			mp + "/internal/hyper.Hypervisor.Machine":     "fixed at hypervisor construction",
+			mp + "/internal/machine.Machine.Stats":        "emission sink, not a plan input",
+		},
+		GenBumps: map[string]string{
+			mp + "/internal/hyper.(*World).SetCosts":    mp + "/internal/machine.Machine.CostGen",
+			mp + "/internal/hyper.(*World).SetHostCaps": mp + "/internal/machine.Machine.CapsGen",
+			mp + "/internal/hyper.(*VM).ProvideVIOMMU":  mp + "/internal/machine.Machine.CapsGen",
+		},
+		SetterOnly: map[string][]string{
+			mp + "/internal/hyper.World.Costs": {mp + "/internal/hyper.(*World).SetCosts"},
+			// ProvideVIOMMU propagates the vIOMMU capability bits into a
+			// nested hypervisor's word; it carries the same CapsGen bump
+			// obligation as SetHostCaps (enforced by GenBumps above).
+			mp + "/internal/hyper.Hypervisor.Caps": {
+				mp + "/internal/hyper.(*World).SetHostCaps",
+				mp + "/internal/hyper.(*VM).ProvideVIOMMU",
+			},
+		},
+	}
+	// stageledger: the exit-transaction pipeline's single-settle-point
+	// contract (internal/hyper/pipeline.go).
+	cfg.StageLedger = &StageLedgerConfig{
+		Begin:  mp + "/internal/hyper.(*World).begin",
+		Settle: mp + "/internal/hyper.(*World).settle",
+		Charge: mp + "/internal/hyper.(*ExitContext).add",
+	}
+	// interceptor: the direct-handling chain's registration and
+	// claim-before-mutate contracts (internal/hyper/pipeline.go).
+	cfg.Interceptor = &InterceptorConfig{
+		Iface: mp + "/internal/hyper.Interceptor",
+	}
+	// parity: the mirrored constant tables that size trace's fixed arrays and
+	// the dense exit-reason index space.
+	cfg.Parity = &ParityConfig{
+		Mirrors: [][2]string{
+			{mp + "/internal/trace.NumStages", mp + "/internal/hyper.stageCount"},
+			{mp + "/internal/trace.NumBoundaries", mp + "/internal/hyper.boundaryCount"},
+		},
+		DenseEnums: [][2]string{
+			{mp + "/internal/vmx.ExitReason", mp + "/internal/vmx.NumReasonIndexes"},
+		},
+	}
 	return cfg, nil
 }
 
@@ -149,7 +326,9 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	g := buildCallGraph(prog)
 
+	rules := []string{RuleDeterminism, RuleNoPanic, RuleExhaustive, RuleOpByValue, RuleHotAlloc}
 	var all []Finding
 	all = append(all, checkDeterminism(prog, &cfg)...)
 	all = append(all, checkNoPanic(prog, &cfg)...)
@@ -159,11 +338,43 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	all = append(all, ops...)
-	hot, nHot, err := checkHotAlloc(prog, &cfg)
+	hot, nHot, err := checkHotAlloc(prog, &cfg, g)
 	if err != nil {
 		return nil, err
 	}
 	all = append(all, hot...)
+	if cfg.CacheGen != nil {
+		rules = append(rules, RuleCacheGen)
+		fs, err := checkCacheGen(prog, &cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	if cfg.StageLedger != nil {
+		rules = append(rules, RuleStageLedger)
+		fs, err := checkStageLedger(prog, &cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	if cfg.Interceptor != nil {
+		rules = append(rules, RuleInterceptor)
+		fs, err := checkInterceptor(prog, &cfg, g)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	if cfg.Parity != nil {
+		rules = append(rules, RuleParity)
+		fs, err := checkParity(prog, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
 
 	res := &Result{HotFuncs: nHot}
 	for _, f := range all {
@@ -173,8 +384,14 @@ func Run(cfg Config) (*Result, error) {
 			res.Findings = append(res.Findings, f)
 		}
 	}
+	// Directive accounting runs last: every rule has had its chance to mark
+	// the directives it consumed.
+	res.Unused = unusedDirectives(prog)
+	sort.Strings(rules)
+	res.RulesRun = rules
 	sortFindings(res.Findings)
 	sortFindings(res.Suppressed)
+	sortFindings(res.Unused)
 	return res, nil
 }
 

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -126,8 +128,183 @@ func TestGoldenSuppressionsRecorded(t *testing.T) {
 	}
 }
 
+// cacheGenTestConfig wires the cachegen fixture: Compile is the compile
+// root, World/CostModel are watched, and SetCosts/SetCaps are generation
+// setters (SetCaps deliberately missing its bump).
+func cacheGenTestConfig(c *Config) {
+	c.CacheGen = &CacheGenConfig{
+		CompileRoots: []string{"lintcheck/cachegen.Compile"},
+		WatchedTypes: []string{"lintcheck/cachegen.World", "lintcheck/cachegen.CostModel"},
+		GuardedReads: map[string]string{
+			"lintcheck/cachegen.CostModel":   "CostGen",
+			"lintcheck/cachegen.World.Costs": "CostGen",
+			"lintcheck/cachegen.World.Caps":  "CapsGen",
+		},
+		GenBumps: map[string]string{
+			"lintcheck/cachegen.(*World).SetCosts": "lintcheck/cachegen.Machine.CostGen",
+			"lintcheck/cachegen.(*World).SetCaps":  "lintcheck/cachegen.Machine.CapsGen",
+		},
+		SetterOnly: map[string][]string{
+			"lintcheck/cachegen.World.Costs": {"lintcheck/cachegen.(*World).SetCosts"},
+		},
+	}
+}
+
+func TestGoldenCacheGen(t *testing.T) { runGolden(t, "cachegen", cacheGenTestConfig) }
+
+func stageLedgerTestConfig(c *Config) {
+	c.StageLedger = &StageLedgerConfig{
+		Begin:  "lintcheck/stageledger.(*Eng).begin",
+		Settle: "lintcheck/stageledger.(*Eng).settle",
+		Charge: "lintcheck/stageledger.(*Tx).add",
+	}
+}
+
+func TestGoldenStageLedger(t *testing.T) { runGolden(t, "stageledger", stageLedgerTestConfig) }
+
+// interceptorTestConfig points EnginePrefixes away from the fixture so the
+// time.Now expectation can only be satisfied by determinism inheritance
+// through the interceptor rule.
+func interceptorTestConfig(c *Config) {
+	c.EnginePrefixes = []string{"lintcheck/interceptor/enginepkgs"}
+	c.Interceptor = &InterceptorConfig{Iface: "lintcheck/interceptor.Interceptor"}
+}
+
+func TestGoldenInterceptor(t *testing.T) { runGolden(t, "interceptor", interceptorTestConfig) }
+
+func parityTestConfig(c *Config) {
+	c.Parity = &ParityConfig{
+		Mirrors:    [][2]string{{"lintcheck/parity.NumStages", "lintcheck/parity.stageCount"}},
+		DenseEnums: [][2]string{{"lintcheck/parity.R", "lintcheck/parity.NumR"}},
+	}
+}
+
+func TestGoldenParity(t *testing.T) { runGolden(t, "parity", parityTestConfig) }
+
+// TestGoldenRequiresRule proves every // want in the v2 fixtures comes from
+// its rule: with the rule left unconfigured, the same package lints clean, so
+// disabling a rule would fail the golden test above by leaving every
+// expectation unmatched.
+func TestGoldenRequiresRule(t *testing.T) {
+	for _, name := range []string{"cachegen", "stageledger", "interceptor", "parity"} {
+		cfg := Config{
+			Dir:            filepath.Join("testdata", "src", name),
+			ModulePath:     "lintcheck/" + name,
+			EnginePrefixes: []string{"lintcheck/" + name + "/enginepkgs"},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Findings {
+			t.Errorf("%s with its rule disabled still reports: %s", name, f)
+		}
+	}
+}
+
+// TestUnusedDirectives checks the stale-directive pass: every directive in
+// the fixture suppresses nothing and must be reported, including the unknown
+// verb.
+func TestUnusedDirectives(t *testing.T) {
+	res, err := Run(Config{
+		Dir:            filepath.Join("testdata", "src", "unuseddir"),
+		ModulePath:     "lintcheck/unuseddir",
+		EnginePrefixes: []string{"lintcheck/"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("fixture has active findings: %v", res.Findings)
+	}
+	want := []struct {
+		line int
+		frag string
+	}{
+		{7, "stale //nvlint:cold"},
+		{13, "stale //nvlint:ignore nopanic"},
+		{15, "stale //nvlint:ordered"},
+		{17, `unknown nvlint directive "bogus"`},
+	}
+	if len(res.Unused) != len(want) {
+		t.Fatalf("unused = %d, want %d: %v", len(res.Unused), len(want), res.Unused)
+	}
+	for i, w := range want {
+		u := res.Unused[i]
+		if u.Rule != RuleDirective || u.Line != w.line || !strings.Contains(u.Msg, w.frag) {
+			t.Errorf("unused[%d] = %s, want line %d containing %q", i, u, w.line, w.frag)
+		}
+	}
+}
+
+// TestOutputDeterministic pins the ordering contract: two runs over the same
+// tree yield identical findings, sorted by (file, line, rule).
+func TestOutputDeterministic(t *testing.T) {
+	a := mustRun(t, "stageledger", stageLedgerTestConfig)
+	b := mustRun(t, "stageledger", stageLedgerTestConfig)
+	if !reflect.DeepEqual(a.Findings, b.Findings) {
+		t.Errorf("two runs disagree:\n%v\n%v", a.Findings, b.Findings)
+	}
+	for i := 1; i < len(a.Findings); i++ {
+		p, q := a.Findings[i-1], a.Findings[i]
+		if p.File > q.File || (p.File == q.File && p.Line > q.Line) ||
+			(p.File == q.File && p.Line == q.Line && p.Rule > q.Rule) {
+			t.Errorf("findings not sorted by (file, line, rule): %s before %s", p, q)
+		}
+	}
+}
+
+// mustRun lints one testdata package with the given config mutation.
+func mustRun(t *testing.T, name string, mutate func(*Config)) *Result {
+	t.Helper()
+	cfg := Config{
+		Dir:            filepath.Join("testdata", "src", name),
+		ModulePath:     "lintcheck/" + name,
+		EnginePrefixes: []string{"lintcheck/"},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEncodeJSON pins the JSON-lines shape: one parseable object per line,
+// findings first, with directive candidates attached to active findings.
+func TestEncodeJSON(t *testing.T) {
+	res := mustRun(t, "stageledger", stageLedgerTestConfig)
+	if len(res.Findings) == 0 {
+		t.Fatal("fixture produced no findings to encode")
+	}
+	var buf strings.Builder
+	if err := EncodeJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Findings)+len(res.Suppressed)+len(res.Unused) {
+		t.Fatalf("got %d JSON lines, want %d", len(lines),
+			len(res.Findings)+len(res.Suppressed)+len(res.Unused))
+	}
+	for i, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if f.Rule == "" || f.File == "" || f.Line == 0 || f.Msg == "" || f.Kind == "" {
+			t.Errorf("line %d missing required fields: %s", i+1, line)
+		}
+		if f.Kind == "finding" && len(f.DirectiveCandidates) == 0 {
+			t.Errorf("line %d: active finding has no directive candidates", i+1)
+		}
+	}
+}
+
 // TestModuleLintsClean is the gate the repository itself must pass: nvlint
-// over the whole module reports nothing.
+// over the whole module reports nothing — no findings and no stale
+// directives — with all nine rules enabled.
 func TestModuleLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the full module from source")
@@ -143,8 +320,18 @@ func TestModuleLintsClean(t *testing.T) {
 	for _, f := range res.Findings {
 		t.Error(f.String())
 	}
+	for _, f := range res.Unused {
+		t.Errorf("stale directive: %s", f)
+	}
 	if res.HotFuncs == 0 {
 		t.Error("hot set is empty; the hot roots did not resolve")
+	}
+	wantRules := []string{
+		RuleCacheGen, RuleDeterminism, RuleExhaustive, RuleHotAlloc,
+		RuleInterceptor, RuleNoPanic, RuleOpByValue, RuleParity, RuleStageLedger,
+	}
+	if !reflect.DeepEqual(res.RulesRun, wantRules) {
+		t.Errorf("rules run = %v, want %v", res.RulesRun, wantRules)
 	}
 	// Every suppression must carry a reason: an unexplained ignore is a
 	// finding in itself.

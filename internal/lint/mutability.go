@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file computes, for every module function, which of its incoming
+// positions (0 = receiver, 1..n = parameters) it may write engine state
+// through — directly (an assignment whose access path crosses a pointer,
+// map, slice or channel rooted at that position) or transitively (passing a
+// value aliasing that position to a callee that writes through it, with CHA
+// for interface calls). The interceptor rule uses these summaries to decide
+// whether a statement in TryHandle mutates state the engine can observe.
+// The analysis is a deliberate over-approximation on the alias side (any
+// pointer-shaped local assigned from a position-rooted expression is assumed
+// to alias it) and an under-approximation through value-typed intermediaries;
+// the golden tests pin exactly what it catches.
+
+// writeSummary records the positions a function may write through.
+type writeSummary map[int]bool
+
+func (s writeSummary) equal(o writeSummary) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s { //nvlint:ordered set comparison, order-free
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mutation is one engine-state write inside a function body: its position and
+// the incoming positions it writes through.
+type mutation struct {
+	pos     token.Pos
+	stmt    ast.Node // the innermost enclosing statement, for flow analysis
+	through writeSummary
+	desc    string
+}
+
+// mutability holds the fixpoint summaries for the loaded program.
+type mutability struct {
+	prog *program
+	g    *callGraph
+	sums map[*types.Func]writeSummary
+}
+
+// computeMutability iterates the per-function analysis to a fixpoint over the
+// call graph (summaries only grow, so this terminates; the pass bound is a
+// backstop for pathological call-graph depth).
+func computeMutability(prog *program, g *callGraph) *mutability {
+	m := &mutability{prog: prog, g: g, sums: map[*types.Func]writeSummary{}}
+	var fns []*types.Func
+	for fn := range prog.funcs { //nvlint:ordered sorted by funcID on the next line
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcID(fns[i]) < funcID(fns[j]) })
+	for _, fn := range fns {
+		m.sums[fn] = writeSummary{}
+	}
+	for pass := 0; pass < 16; pass++ {
+		changed := false
+		for _, fn := range fns {
+			fd := prog.funcs[fn]
+			sum, _ := m.analyze(fd.pkg, fd.decl)
+			if !sum.equal(m.sums[fn]) {
+				m.sums[fn] = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m
+}
+
+// mutations returns the engine-state writes of one function body with the
+// final summaries applied.
+func (m *mutability) mutations(pkg *Package, fd *ast.FuncDecl) []mutation {
+	_, muts := m.analyze(pkg, fd)
+	return muts
+}
+
+// analyze computes one function's write summary and its mutation sites.
+func (m *mutability) analyze(pkg *Package, fd *ast.FuncDecl) (writeSummary, []mutation) {
+	a := &funcAnalysis{m: m, pkg: pkg, params: map[*types.Var]int{}, taint: map[*types.Var]writeSummary{}}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					a.params[v] = 0
+				}
+			}
+		}
+	}
+	idx := 1
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range f.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				a.params[v] = idx
+			}
+			idx++
+		}
+	}
+	// Two taint passes: locals assigned before their source is known tainted
+	// (loop-carried aliases) settle on the second.
+	for i := 0; i < 2; i++ {
+		a.propagateTaint(fd.Body)
+	}
+	a.collectWrites(fd.Body)
+	sum := writeSummary{}
+	for _, mut := range a.muts {
+		for k := range mut.through { //nvlint:ordered set union, order-free
+			sum[k] = true
+		}
+	}
+	return sum, a.muts
+}
+
+// funcAnalysis is the per-function state.
+type funcAnalysis struct {
+	m      *mutability
+	pkg    *Package
+	params map[*types.Var]int
+	taint  map[*types.Var]writeSummary
+	muts   []mutation
+}
+
+// pointerShapedAlias reports whether a value of this type can alias engine
+// state (so taint is worth tracking through it).
+func pointerShapedAlias(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// taintOf evaluates which incoming positions an expression's value may alias,
+// and whether the access path has crossed a pointer-shaped boundary (a write
+// at the end of a crossed path mutates shared state; an uncrossed path into a
+// by-value parameter only writes the local copy).
+func (a *funcAnalysis) taintOf(e ast.Expr) (writeSummary, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := a.pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			if v, ok = a.pkg.Info.Defs[e].(*types.Var); !ok {
+				return nil, false
+			}
+		}
+		if idx, ok := a.params[v]; ok {
+			return writeSummary{idx: true}, pointerShapedAlias(v.Type())
+		}
+		if t, ok := a.taint[v]; ok {
+			// Tainted locals are pointer-shaped by construction: any path
+			// onward dereferences shared state.
+			return t, true
+		}
+		return nil, false
+	case *ast.ParenExpr:
+		return a.taintOf(e.X)
+	case *ast.SelectorExpr:
+		t, crossed := a.taintOf(e.X)
+		if xt := a.pkg.Info.TypeOf(e.X); xt != nil && pointerShapedAlias(xt) {
+			crossed = true
+		}
+		return t, crossed
+	case *ast.IndexExpr:
+		t, crossed := a.taintOf(e.X)
+		if xt := a.pkg.Info.TypeOf(e.X); xt != nil && pointerShapedAlias(xt) {
+			crossed = true
+		}
+		return t, crossed
+	case *ast.StarExpr:
+		t, _ := a.taintOf(e.X)
+		return t, true
+	case *ast.TypeAssertExpr:
+		return a.taintOf(e.X)
+	case *ast.UnaryExpr:
+		return a.taintOf(e.X)
+	case *ast.CompositeLit:
+		out := writeSummary{}
+		crossed := false
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t, c := a.taintOf(el)
+			for k := range t { //nvlint:ordered set union, order-free
+				out[k] = true
+			}
+			crossed = crossed || c
+		}
+		return out, crossed
+	case *ast.BinaryExpr:
+		lt, lc := a.taintOf(e.X)
+		rt, rc := a.taintOf(e.Y)
+		for k := range rt { //nvlint:ordered set union, order-free
+			lt = setAdd(lt, k)
+		}
+		return lt, lc || rc
+	case *ast.CallExpr:
+		// A call result of pointer shape may alias anything reachable from
+		// its receiver and arguments (a table lookup handing back an interior
+		// pointer).
+		rt := a.pkg.Info.TypeOf(e)
+		if rt == nil || !pointerShapedAlias(rt) {
+			return nil, false
+		}
+		out := writeSummary{}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if s, ok := a.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				t, _ := a.taintOf(sel.X)
+				for k := range t { //nvlint:ordered set union, order-free
+					out[k] = true
+				}
+			}
+		}
+		for _, arg := range e.Args {
+			t, _ := a.taintOf(arg)
+			for k := range t { //nvlint:ordered set union, order-free
+				out[k] = true
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func setAdd(s writeSummary, k int) writeSummary {
+	if s == nil {
+		s = writeSummary{}
+	}
+	s[k] = true
+	return s
+}
+
+// propagateTaint records which pointer-shaped locals alias incoming
+// positions.
+func (a *funcAnalysis) propagateTaint(body *ast.BlockStmt) {
+	record := func(id *ast.Ident, src ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		v, ok := a.pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			if v, ok = a.pkg.Info.Uses[id].(*types.Var); !ok {
+				return
+			}
+		}
+		if _, isParam := a.params[v]; isParam {
+			return
+		}
+		if !pointerShapedAlias(v.Type()) {
+			return
+		}
+		t, _ := a.taintOf(src)
+		for k := range t { //nvlint:ordered set union, order-free
+			a.taint[v] = setAdd(a.taint[v], k)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				src := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					src = n.Rhs[i]
+				}
+				record(id, src)
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id != nil {
+					record(id, n.X)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if len(n.Values) == 0 {
+					continue
+				}
+				src := n.Values[0]
+				if len(n.Values) == len(n.Names) {
+					src = n.Values[i]
+				}
+				record(id, src)
+			}
+		}
+		return true
+	})
+}
+
+// collectWrites records every statement that writes through an incoming
+// position.
+func (a *funcAnalysis) collectWrites(body *ast.BlockStmt) {
+	var stack []ast.Node
+	enclosingStmt := func() ast.Node {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if _, ok := stack[i].(ast.Stmt); ok {
+				return stack[i]
+			}
+		}
+		return body
+	}
+	emit := func(pos token.Pos, through writeSummary, desc string) {
+		if len(through) == 0 {
+			return
+		}
+		a.muts = append(a.muts, mutation{pos: pos, stmt: enclosingStmt(), through: through, desc: desc})
+	}
+	writeTarget := func(e ast.Expr, desc string) {
+		if _, isIdent := ast.Unparen(e).(*ast.Ident); isIdent {
+			return // rebinding a local or parameter copy
+		}
+		t, crossed := a.taintOf(e)
+		if crossed {
+			emit(e.Pos(), t, desc)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writeTarget(lhs, "assignment through shared state")
+			}
+		case *ast.IncDecStmt:
+			writeTarget(n.X, "increment of shared state")
+		case *ast.SendStmt:
+			if t, _ := a.taintOf(n.Chan); len(t) > 0 {
+				emit(n.Chan.Pos(), t, "send on a shared channel")
+			}
+		case *ast.CallExpr:
+			a.callWrites(n, emit)
+		}
+		return true
+	})
+}
+
+// callWrites propagates callee write summaries to a call's receiver and
+// arguments, and models the mutating builtins.
+func (a *funcAnalysis) callWrites(call *ast.CallExpr, emit func(token.Pos, writeSummary, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := a.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete", "clear":
+				if len(call.Args) > 0 {
+					if t, _ := a.taintOf(call.Args[0]); len(t) > 0 {
+						emit(call.Pos(), t, b.Name()+" on shared state")
+					}
+				}
+			case "copy", "append":
+				if len(call.Args) > 0 {
+					if t, _ := a.taintOf(call.Args[0]); len(t) > 0 {
+						emit(call.Pos(), t, b.Name()+" into a shared backing array")
+					}
+				}
+			}
+			return
+		}
+	}
+	callees := a.m.g.callees(a.pkg, call)
+	if len(callees) == 0 {
+		return
+	}
+	// Align call operands with callee positions: 0 is the receiver for
+	// method-value calls, arguments follow.
+	operands := map[int]ast.Expr{}
+	argBase := 1
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := a.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			operands[0] = sel.X
+		}
+	}
+	for i, arg := range call.Args {
+		operands[argBase+i] = arg
+	}
+	for _, callee := range callees {
+		sum, ok := a.m.sums[callee]
+		if !ok {
+			continue
+		}
+		for pos := range sum { //nvlint:ordered findings carry the call position, not the operand order
+			op := operands[pos]
+			if op == nil {
+				// Variadic overflow: anything past the last named operand
+				// maps to the final parameter.
+				continue
+			}
+			if t, _ := a.taintOf(op); len(t) > 0 {
+				emit(call.Pos(), t, "call to "+funcID(callee)+", which writes through this value")
+			}
+		}
+	}
+}

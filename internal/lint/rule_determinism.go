@@ -28,33 +28,44 @@ func checkDeterminism(prog *program, cfg *Config) []Finding {
 		}
 		for _, f := range pkg.Files {
 			dirs := pkg.Directives[f]
-			ast.Inspect(f, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.GoStmt:
-					if !allowedGo[pkg.Path] {
-						out = append(out, finding(prog, pkg, dirs, n.Pos(), RuleDeterminism,
-							"go statement outside the allowed packages; concurrency must go through internal/parallel"))
-					}
-				case *ast.CallExpr:
-					if pkgName, fn := stdlibCall(pkg, n); pkgName != "" {
-						switch {
-						case pkgName == "time" && wallClockFuncs[fn]:
-							out = append(out, finding(prog, pkg, dirs, n.Pos(), RuleDeterminism,
-								"time."+fn+" reads the host clock; use the simulated clock (internal/sim)"))
-						case (pkgName == "math/rand" || pkgName == "math/rand/v2") && fn != "New" && fn != "NewSource":
-							out = append(out, finding(prog, pkg, dirs, n.Pos(), RuleDeterminism,
-								"math/rand."+fn+" uses the global (unseeded) source; use the seeded internal/sim RNG"))
-						}
-					}
-				case *ast.RangeStmt:
-					if f := checkMapRange(prog, pkg, dirs, n); f != nil {
-						out = append(out, *f)
-					}
-				}
-				return true
-			})
+			out = append(out, scanDeterminism(prog, pkg, dirs, f, allowedGo[pkg.Path], RuleDeterminism, "")...)
 		}
 	}
+	return out
+}
+
+// scanDeterminism applies the determinism checks to one subtree, emitting
+// under the given rule id (the interceptor rule re-runs these checks over
+// TryHandle-reachable code outside the engine packages, where the base rule
+// does not look). suffix is appended to each message to say why the subtree
+// is in scope.
+func scanDeterminism(prog *program, pkg *Package, dirs *fileDirectives, root ast.Node, allowGo bool, rule, suffix string) []Finding {
+	var out []Finding
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !allowGo {
+				out = append(out, finding(prog, pkg, dirs, n.Pos(), rule,
+					"go statement outside the allowed packages; concurrency must go through internal/parallel"+suffix))
+			}
+		case *ast.CallExpr:
+			if pkgName, fn := stdlibCall(pkg, n); pkgName != "" {
+				switch {
+				case pkgName == "time" && wallClockFuncs[fn]:
+					out = append(out, finding(prog, pkg, dirs, n.Pos(), rule,
+						"time."+fn+" reads the host clock; use the simulated clock (internal/sim)"+suffix))
+				case (pkgName == "math/rand" || pkgName == "math/rand/v2") && fn != "New" && fn != "NewSource":
+					out = append(out, finding(prog, pkg, dirs, n.Pos(), rule,
+						"math/rand."+fn+" uses the global (unseeded) source; use the seeded internal/sim RNG"+suffix))
+				}
+			}
+		case *ast.RangeStmt:
+			if f := checkMapRange(prog, pkg, dirs, n, rule, suffix); f != nil {
+				out = append(out, *f)
+			}
+		}
+		return true
+	})
 	return out
 }
 
@@ -80,12 +91,9 @@ func stdlibCall(pkg *Package, call *ast.CallExpr) (string, string) {
 // //nvlint:ordered or matches the sorted-collect idiom: a body that only
 // appends the key or value to a slice (to be sorted before use). Everything
 // else can leak map iteration order into simulator output.
-func checkMapRange(prog *program, pkg *Package, dirs *fileDirectives, rng *ast.RangeStmt) *Finding {
+func checkMapRange(prog *program, pkg *Package, dirs *fileDirectives, rng *ast.RangeStmt, rule, suffix string) *Finding {
 	t := pkg.Info.TypeOf(rng.X)
-	if t == nil {
-		return nil
-	}
-	if _, ok := t.Underlying().(*types.Map); !ok {
+	if t == nil || !rangesOverMap(t) {
 		return nil
 	}
 	line := prog.fset.Position(rng.Pos()).Line
@@ -95,9 +103,39 @@ func checkMapRange(prog *program, pkg *Package, dirs *fileDirectives, rng *ast.R
 	if isCollectIdiom(rng) {
 		return nil
 	}
-	f := finding(prog, pkg, dirs, rng.Pos(), RuleDeterminism,
-		"range over map: iteration order can reach simulator output; sort the keys, use the collect-then-sort idiom, or annotate //nvlint:ordered")
+	f := finding(prog, pkg, dirs, rng.Pos(), rule,
+		"range over map: iteration order can reach simulator output; sort the keys, use the collect-then-sort idiom, or annotate //nvlint:ordered"+suffix)
 	return &f
+}
+
+// rangesOverMap reports whether ranging over a value of type t iterates a
+// map. Type parameters are seen through: a range over `M ~map[K]V` has the
+// same unordered iteration as a range over the map itself, so a constraint
+// whose every structural term is a map counts.
+func rangesOverMap(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Interface:
+		if _, ok := t.(*types.TypeParam); !ok {
+			return false // an ordinary interface value cannot be ranged over
+		}
+		terms := false
+		for i := 0; i < u.NumEmbeddeds(); i++ {
+			un, ok := u.EmbeddedType(i).(*types.Union)
+			if !ok {
+				continue
+			}
+			for j := 0; j < un.Len(); j++ {
+				terms = true
+				if _, ok := un.Term(j).Type().Underlying().(*types.Map); !ok {
+					return false
+				}
+			}
+		}
+		return terms
+	}
+	return false
 }
 
 // isCollectIdiom reports whether the range body is exactly one append of the

@@ -13,8 +13,7 @@ import (
 // //nvlint:cold prunes a function from the walk; //nvlint:ignore hotalloc at
 // a call site cuts the edge; error construction inside a return statement
 // (fmt.Errorf / errors.New) is exempt — bail-out paths may allocate.
-func checkHotAlloc(prog *program, cfg *Config) ([]Finding, int, error) {
-	g := buildCallGraph(prog)
+func checkHotAlloc(prog *program, cfg *Config, g *callGraph) ([]Finding, int, error) {
 	var roots []*types.Func
 	for _, spec := range cfg.HotRoots {
 		fns, err := g.resolveRoot(spec)
@@ -32,11 +31,19 @@ func checkHotAlloc(prog *program, cfg *Config) ([]Finding, int, error) {
 				}
 				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
 					roots = append(roots, fn)
+					markFuncMarkerUsed(pkg, fd, "hot")
 				}
 			}
 		}
 	}
 	hot := g.hotSet(roots)
+	// An edge-cutting //nvlint:ignore hotalloc earned its keep only if the
+	// caller it cut in is actually hot; a cut in cold code suppresses nothing.
+	for _, c := range g.cuts {
+		if _, ok := hot[c.caller]; ok {
+			c.dir.used = true
+		}
+	}
 
 	// Deterministic function order for the scan.
 	fns := make([]*types.Func, 0, len(hot))

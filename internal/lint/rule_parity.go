@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// checkParity verifies mirrored constant tables. The module keeps a few
+// constants deliberately duplicated across import-graph layers (trace sizes
+// its fixed stats arrays without importing hyper); compile-asserts catch a
+// mismatch only where someone remembered to write one, and give a cryptic
+// array-size error when they fire. This rule checks the pairs directly and
+// reports drift with both declaration sites. It also checks dense-enum
+// contracts: every constant of an index-dense enum must be distinct and below
+// the bound, or dense tables silently merge two values (vmx.ExitReason.Index
+// clamps overflow into a shared bucket).
+func checkParity(prog *program, cfg *Config) ([]Finding, error) {
+	var out []Finding
+	for _, pair := range cfg.Parity.Mirrors {
+		a, err := resolveConst(prog, pair[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := resolveConst(prog, pair[1])
+		if err != nil {
+			return nil, err
+		}
+		if constant.Compare(a.Val(), token.EQL, b.Val()) {
+			continue
+		}
+		msg := fmt.Sprintf("mirrored constants diverge: %s = %s (%s) but %s = %s (%s); the tables sized by them no longer line up",
+			pair[0], a.Val(), site(prog, a.Pos()),
+			pair[1], b.Val(), site(prog, b.Pos()))
+		for _, c := range []*types.Const{a, b} {
+			pkg := prog.byPath[c.Pkg().Path()]
+			if pkg == nil {
+				continue
+			}
+			dirs := pkg.Directives[fileOf(pkg, c.Pos())]
+			out = append(out, finding(prog, pkg, dirs, c.Pos(), RuleParity, msg))
+		}
+	}
+	for _, pair := range cfg.Parity.DenseEnums {
+		fs, err := checkDenseEnum(prog, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// checkDenseEnum verifies that every declared constant of the enum type is
+// unique and inside [0, bound).
+func checkDenseEnum(prog *program, typeSpec, boundSpec string) ([]Finding, error) {
+	named, err := resolveNamed(prog, typeSpec)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := resolveConst(prog, boundSpec)
+	if err != nil {
+		return nil, err
+	}
+	bound, ok := constant.Int64Val(constant.ToInt(bc.Val()))
+	if !ok {
+		return nil, fmt.Errorf("lint: dense-enum bound %q is not an integer constant", boundSpec)
+	}
+	pkg := prog.byPath[named.Obj().Pkg().Path()]
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: dense enum %q: package not loaded", typeSpec)
+	}
+	scope := pkg.Types.Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != named {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	// Report in declaration order so a drifted iota block reads top-down.
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+
+	var out []Finding
+	byVal := map[int64]*types.Const{}
+	for _, c := range consts {
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		dirs := pkg.Directives[fileOf(pkg, c.Pos())]
+		if v < 0 || v >= bound {
+			out = append(out, finding(prog, pkg, dirs, c.Pos(), RuleParity,
+				fmt.Sprintf("%s.%s = %d is outside the dense index space [0, %s = %d); Index()-style clamping would merge it with other overflow reasons",
+					named.Obj().Name(), c.Name(), v, boundSpec, bound)))
+			continue
+		}
+		if prev, dup := byVal[v]; dup {
+			out = append(out, finding(prog, pkg, dirs, c.Pos(), RuleParity,
+				fmt.Sprintf("%s.%s and %s.%s share dense index %d (%s and %s); per-reason tables would merge them",
+					named.Obj().Name(), prev.Name(), named.Obj().Name(), c.Name(), v,
+					site(prog, prev.Pos()), site(prog, c.Pos()))))
+			continue
+		}
+		byVal[v] = c
+	}
+	return out, nil
+}

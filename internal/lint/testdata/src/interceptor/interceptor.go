@@ -1,0 +1,103 @@
+// Package interceptor exercises the interceptor-contract rule: constant
+// (name, priority) registration, no engine-state mutation on paths that can
+// still decline, and determinism inherited by everything reachable from the
+// claim method. The golden test points EnginePrefixes away from this package,
+// so the base determinism rule does not cover it — the time.Now finding below
+// must come from the inheritance pass.
+package interceptor
+
+import "time"
+
+// Op is the operation offered to the chain.
+type Op struct{ Kind int }
+
+// Engine is the mutable state an interceptor must not touch before claiming.
+type Engine struct {
+	Counter int
+}
+
+// stamp is reachable from a claim method, so it inherits the determinism
+// contract even though this package is not engine-scoped.
+func (e *Engine) stamp() {
+	_ = time.Now() // want "reads the host clock"
+}
+
+// Interceptor is the direct-handling backend interface.
+type Interceptor interface {
+	InterceptorInfo() (string, int)
+	TryHandle(op Op) (bool, error)
+}
+
+// Good claims before mutating: clean.
+type Good struct{ eng *Engine }
+
+func (g *Good) InterceptorInfo() (string, int) { return "good", 10 }
+
+func (g *Good) TryHandle(op Op) (bool, error) {
+	if op.Kind != 3 {
+		return false, nil
+	}
+	g.eng.Counter++
+	g.eng.stamp()
+	return true, nil
+}
+
+var badPrio = 20
+
+// Bad registers a runtime priority and mutates before declining.
+type Bad struct{ eng *Engine }
+
+func (b *Bad) InterceptorInfo() (string, int) {
+	return "bad", badPrio // want "non-constant"
+}
+
+func (b *Bad) TryHandle(op Op) (bool, error) {
+	b.eng.Counter++ // want "mutates engine state"
+	if op.Kind == 7 {
+		return true, nil
+	}
+	return false, nil
+}
+
+// Sneaky routes the premature mutation through a helper call.
+type Sneaky struct{ eng *Engine }
+
+func (s *Sneaky) InterceptorInfo() (string, int) { return "sneaky", 30 }
+
+func (s *Sneaky) bump() { s.eng.Counter++ }
+
+func (s *Sneaky) TryHandle(op Op) (bool, error) {
+	s.bump() // want "mutates engine state"
+	if op.Kind == 9 {
+		return true, nil
+	}
+	return false, nil
+}
+
+// Naked uses a naked return; the pair must be literal at the return site.
+type Naked struct{ eng *Engine }
+
+func (n *Naked) InterceptorInfo() (name string, prio int) {
+	name, prio = "naked", 5
+	return // want "naked return"
+}
+
+func (n *Naked) TryHandle(op Op) (bool, error) { return false, nil }
+
+// Errful mutates and then aborts with an error — exempt: an error settles
+// the transaction instead of forwarding the exit, so nothing observes the
+// half-applied state twice.
+type Errful struct {
+	eng *Engine
+	err error
+}
+
+func (f *Errful) InterceptorInfo() (string, int) { return "errful", 40 }
+
+func (f *Errful) TryHandle(op Op) (bool, error) {
+	f.eng.Counter++
+	if op.Kind == 0 {
+		return false, f.err
+	}
+	return true, nil
+}

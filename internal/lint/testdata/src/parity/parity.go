@@ -1,0 +1,24 @@
+// Package parity exercises the mirrored-constant and dense-enum rules. The
+// golden test mirrors NumStages against stageCount (deliberately drifted) and
+// declares R index-dense with bound NumR.
+package parity
+
+// NumStages mirrors the stage count from a layer that cannot import this one.
+const NumStages = 4 // want "mirrored constants diverge"
+
+// stageCount drifted: a stage was added here but not in the mirror above.
+const stageCount = 5 // want "mirrored constants diverge"
+
+// R is an index-dense enum: every constant must be distinct and below NumR.
+type R int
+
+// NumR bounds the dense index space.
+const NumR = 3
+
+// The enum block: RDup collides with RB, RBig escapes the table.
+const (
+	RA   R = 0
+	RB   R = 1
+	RDup R = 1 // want "share dense index 1"
+	RBig R = 9 // want "outside the dense index space"
+)

@@ -1,0 +1,19 @@
+// Package unuseddir carries only directives that no longer suppress
+// anything; the unused-directive pass must flag every one of them.
+package unuseddir
+
+// fine is marked cold but no hot-root walk ever consults the marker.
+//
+//nvlint:cold
+func fine() int {
+	return 1
+}
+
+func also() int {
+	//nvlint:ignore nopanic nothing on this line panics
+	x := 2
+	//nvlint:ordered no map range follows
+	x++
+	//nvlint:bogus not a verb the linter knows
+	return x + fine()
+}
