@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-compare lint fuzz-smoke fuzz golden check clean
+.PHONY: all build vet test race bench bench-compare lint fuzz-smoke fuzz golden profiles check clean
 
 all: check
 
@@ -62,12 +62,22 @@ fuzz-smoke fuzz:
 golden:
 	NVSIM_UPDATE_GOLDEN=1 $(GO) test ./internal/experiment/ -run TestGoldenMatrix -count=1
 
+# profiles runs the calibration-profile sweep (internal/profile): every
+# registered testbed profile is anchor-validated against live measurement,
+# run through the internal/check invariant sweep across the evaluation
+# configurations, and held to the paper's metamorphic properties (exit
+# multiplication, the DVH reduction) — proving the engine's claims are
+# profile-independent while the absolute cycles shift.
+profiles:
+	$(GO) test ./internal/profile/ -count=1
+
 # check is the full gate: everything must build, vet clean, lint clean
 # under nvlint, pass the test suite under the race detector (the parallel
 # harness runs Worlds on multiple goroutines, so -race is part of tier 1,
 # not an extra), survive a fuzz smoke pass over the invariant-checker
-# targets, and hold the committed benchmark baseline (bench-compare).
-check: build vet lint race fuzz-smoke bench-compare
+# targets, hold the committed benchmark baseline (bench-compare), and pass
+# the per-profile calibration sweep (profiles).
+check: build vet lint race fuzz-smoke bench-compare profiles
 
 clean:
 	$(GO) clean ./...

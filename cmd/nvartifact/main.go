@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/parallel"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -30,23 +31,36 @@ const (
 func main() {
 	level := flag.String("level", "L2", "server configuration: L0 (native) | L1 | L2 | L3")
 	ioName := flag.String("io", "paravirt", "I/O configuration for L1+: paravirt | passthrough | dvh-vp | dvh")
+	guest := flag.String("guest", "kvm", "guest hypervisor for L2+: kvm | xen | hyperv")
+	enlightened := flag.Bool("enlightened", false, "register the guest hypervisor's enlightenment interceptor (xen/hyperv guests), so AE runs exercise the interceptor chain")
 	runs := flag.Int("runs", 3, "number of runs (the appendix recommends at least 3)")
 	benchmarks := flag.String("benchmarks", "all", "comma-separated Table 2 benchmark names, or 'all'")
 	seed := flag.Uint64("seed", 2020, "base seed for run-to-run variation")
 	par := flag.Int("parallel", 0, "worker goroutines for samples: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
+	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+"); see -list-profiles")
+	listProfiles := flag.Bool("list-profiles", false, "list registered calibration profiles and exit")
 	flag.Parse()
+	if *listProfiles {
+		printProfiles()
+		return
+	}
 	if *par < 0 {
 		fatalf("-parallel must be >= 0")
+	}
+	prof, err := profile.Resolve(*profName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvartifact: %v\n", err)
+		os.Exit(2)
 	}
 
 	depth := map[string]int{"L0": 0, "L1": 1, "L2": 2, "L3": 3}
 	d, ok := depth[*level]
 	if !ok {
-		fatalf("unknown -level %q", *level)
+		fatalf("unknown -level %q (valid: L0, L1, L2, L3)", *level)
 	}
 	var spec experiment.Spec
 	if d > 0 {
-		spec = experiment.Spec{Depth: d}
+		spec = experiment.Spec{Depth: d, Profile: prof.Name, Enlightened: *enlightened}
 		switch strings.ToLower(*ioName) {
 		case "paravirt":
 			spec.IO = experiment.IOParavirt
@@ -57,9 +71,28 @@ func main() {
 		case "dvh":
 			spec.IO = experiment.IODVH
 		default:
-			fatalf("unknown -io %q", *ioName)
+			fatalf("unknown -io %q (valid: paravirt, passthrough, dvh-vp, dvh)", *ioName)
 		}
+		switch strings.ToLower(*guest) {
+		case "kvm":
+			spec.Guest = experiment.GuestKVM
+		case "xen":
+			spec.Guest = experiment.GuestXen
+		case "hyperv":
+			spec.Guest = experiment.GuestHyperV
+		default:
+			fatalf("unknown -guest %q (valid: kvm, xen, hyperv)", *guest)
+		}
+		// Surface configuration errors (an enlightened KVM guest, an
+		// enlightenment with nothing nested) before fanning out samples.
+		if _, err := experiment.Build(spec); err != nil {
+			fatalf("%v", err)
+		}
+	} else if *enlightened {
+		fatalf("-enlightened needs a nested configuration (-level L2 or L3)")
 	}
+	fmt.Printf("server: %s io=%s guest=%s enlightened=%v profile=%s\n\n",
+		*level, strings.ToLower(*ioName), strings.ToLower(*guest), *enlightened, prof.Name)
 
 	var selected []workload.Profile
 	if *benchmarks == "all" {
@@ -142,6 +175,19 @@ func oneSample(spec experiment.Spec, depth int, p workload.Profile, seed uint64)
 		return 0, err
 	}
 	return res.Score, nil
+}
+
+// printProfiles lists the registered calibration profiles — name,
+// description and anchor set — sorted by name (profile.All's order), so the
+// listing is deterministic.
+func printProfiles() {
+	for _, p := range profile.All() {
+		marker := ""
+		if p.Name == profile.DefaultName {
+			marker = " (default)"
+		}
+		fmt.Printf("%s%s\n  %s\n  anchors: %s\n", p.Name, marker, p.Description, p.AnchorString())
+	}
 }
 
 func fatalf(format string, args ...any) {

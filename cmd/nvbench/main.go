@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/profile"
 	"repro/internal/report"
 )
 
@@ -24,22 +25,35 @@ func main() {
 	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | stages | latency)")
 	all := flag.Bool("all", false, "regenerate everything")
 	par := flag.Int("parallel", 0, "worker goroutines for experiment cells: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
+	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+"); see -list-profiles")
+	listProfiles := flag.Bool("list-profiles", false, "list registered calibration profiles and exit")
 	flag.StringVar(&format, "format", "table", "figure output format: table | chart | csv")
 	flag.Parse()
+	if *listProfiles {
+		printProfiles()
+		return
+	}
 	if *par < 0 {
 		fatalf("-parallel must be >= 0")
 	}
 	experiment.SetParallelism(*par)
+	prof, err := profile.Resolve(*profName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvbench: %v\n", err)
+		os.Exit(2)
+	}
+	experiment.SetDefaultProfile(prof.Name)
 	switch format {
 	case "table", "chart", "csv":
 	default:
-		fatalf("unknown -format %q", format)
+		fatalf("unknown -format %q (valid: table, chart, csv)", format)
 	}
 
 	if !*all && *table == 0 && *figure == 0 && *exp == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fmt.Printf("calibration profile: %s — %s\n  anchors: %s\n\n", prof.Name, prof.Description, prof.AnchorString())
 	if *all || *table == 3 {
 		run("Table 3: microbenchmark performance in CPU cycles", table3)
 	} else if *table != 0 {
@@ -171,6 +185,19 @@ func migration() (string, error) {
 		return "", err
 	}
 	return experiment.FormatMigration(rows), nil
+}
+
+// printProfiles lists the registered calibration profiles — name,
+// description and anchor set — sorted by name (profile.All's order), so the
+// listing is deterministic.
+func printProfiles() {
+	for _, p := range profile.All() {
+		marker := ""
+		if p.Name == profile.DefaultName {
+			marker = " (default)"
+		}
+		fmt.Printf("%s%s\n  %s\n  anchors: %s\n", p.Name, marker, p.Description, p.AnchorString())
+	}
 }
 
 func fatalf(format string, args ...any) {

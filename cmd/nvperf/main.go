@@ -29,11 +29,17 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/hyper"
+	"repro/internal/profile"
 )
 
-// Artifact is the BENCH_6.json schema.
+// Artifact is the BENCH_6.json schema, version bench-v3: v3 adds the
+// calibration-profile provenance field, so a baseline records which testbed
+// anchors its modeled cycles were produced under.
 type Artifact struct {
-	Schema  string       `json:"schema"`
+	Schema string `json:"schema"`
+	// Profile names the calibration profile the modeled figures were
+	// collected under (internal/profile).
+	Profile string       `json:"profile"`
 	Figures []FigureData `json:"figures"`
 	HotPath []HotBench   `json:"hot_path"`
 }
@@ -75,9 +81,17 @@ type HotBench struct {
 func main() {
 	out := flag.String("o", "BENCH_6.json", "output path for the benchmark artifact")
 	compare := flag.String("compare", "", "baseline artifact to gate against instead of writing one")
+	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+")")
 	flag.Parse()
 
-	a := Artifact{Schema: "nvperf/bench-v2"}
+	prof, err := profile.Resolve(*profName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvperf:", err)
+		os.Exit(2)
+	}
+	experiment.SetDefaultProfile(prof.Name)
+
+	a := Artifact{Schema: "nvperf/bench-v3", Profile: prof.Name}
 	if err := collectFigures(&a); err != nil {
 		fmt.Fprintln(os.Stderr, "nvperf:", err)
 		os.Exit(1)
@@ -131,6 +145,16 @@ func gate(a *Artifact, baselinePath string) error {
 	var base Artifact
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+
+	// Modeled cycles are only comparable within one calibration: the baseline
+	// must record the profile it was produced under (bench-v3) and it must be
+	// the one this run used.
+	if base.Profile == "" {
+		return fmt.Errorf("%s: no profile field (schema %q); regenerate the baseline as bench-v3", baselinePath, base.Schema)
+	}
+	if base.Profile != a.Profile {
+		return fmt.Errorf("calibration profile mismatch: this run used %q, baseline %s was produced under %q", a.Profile, baselinePath, base.Profile)
 	}
 
 	// Modeled cycles are deterministic: any drift is a model change that must

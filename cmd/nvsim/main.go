@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/profile"
 	"repro/internal/workload"
 )
 
@@ -25,9 +26,15 @@ func main() {
 	txns := flag.Int("txns", 2000, "transactions to simulate")
 	stats := flag.Bool("stats", false, "dump exit accounting after the run")
 	breakdown := flag.Bool("breakdown", false, "print per-mechanism cycle attribution and latency percentiles")
+	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+")")
 	flag.Parse()
 
-	spec := experiment.Spec{Depth: *depth}
+	prof, err := profile.Resolve(*profName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvsim: %v\n", err)
+		os.Exit(2)
+	}
+	spec := experiment.Spec{Depth: *depth, Profile: prof.Name}
 	switch strings.ToLower(*ioName) {
 	case "paravirt":
 		spec.IO = experiment.IOParavirt
@@ -55,8 +62,8 @@ func main() {
 	if err != nil {
 		fatalf("building stack: %v", err)
 	}
-	fmt.Printf("stack: depth=%d io=%v guest=%s target=%s (%d vCPUs)\n",
-		spec.Depth, spec.IO, *guest, st.Target.Name, len(st.Target.VCPUs))
+	fmt.Printf("stack: depth=%d io=%v guest=%s profile=%s target=%s (%d vCPUs)\n",
+		spec.Depth, spec.IO, *guest, st.Profile.Name, st.Target.Name, len(st.Target.VCPUs))
 
 	var profiles []workload.Profile
 	if *wl == "all" {

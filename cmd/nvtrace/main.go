@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -25,7 +26,14 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the per-exit timeline, indented by handler level")
 	stages := flag.Bool("stages", false, "print per-stage cycle attribution and latency histograms")
 	ring := flag.Int("ring", 4096, "timeline ring-buffer capacity (exits retained)")
+	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+")")
 	flag.Parse()
+
+	prof, err := profile.Resolve(*profName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
+		os.Exit(2)
+	}
 
 	var m workload.Micro
 	switch *micro {
@@ -59,7 +67,7 @@ func main() {
 		}
 		io = experiment.IODVH
 	}
-	st, err := experiment.Build(experiment.Spec{Depth: *depth, IO: io})
+	st, err := experiment.Build(experiment.Spec{Depth: *depth, IO: io, Profile: prof.Name})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
 		os.Exit(1)
@@ -78,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nvtrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s from L%d (dvh=%v): %v cycles\n\n", m, *depth, *dvh, cycles)
+	fmt.Printf("%s from L%d (dvh=%v, profile=%s): %v cycles\n\n", m, *depth, *dvh, st.Profile.Name, cycles)
 	fmt.Print(st.Machine.Stats.String())
 	if *stages {
 		fmt.Println("\nper-stage attribution:")

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"sync/atomic"
+
+	"repro/internal/profile"
+)
+
+// defaultProfile holds the harness-wide default calibration-profile name CLI
+// flags install (same role as the parallelism knob in pool.go): experiment
+// sweeps construct their Specs internally, so a `-profile` flag reaches them
+// through this package default rather than through every Spec literal. It is
+// atomic so cmd flags and tests can flip it around concurrent sweeps.
+var defaultProfile atomic.Value // string
+
+// SetDefaultProfile sets the calibration profile Specs that do not name one
+// will build under. "" restores the package default (NVSIM_PROFILE env, then
+// xeon-silver-4114). The name is resolved lazily at Build time, so an unknown
+// name surfaces as Build's error, with the registered list.
+func SetDefaultProfile(name string) { defaultProfile.Store(name) }
+
+// DefaultProfile reports the harness-wide default profile name ("" if unset).
+func DefaultProfile() string {
+	if v, ok := defaultProfile.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// resolveProfile selects the calibration profile for one Spec with the
+// standard precedence: the Spec's explicit name, then the harness default a
+// CLI flag installed, then NVSIM_PROFILE, then xeon-silver-4114 (the last two
+// via profile.Resolve).
+func resolveProfile(name string) (profile.Profile, error) {
+	if name == "" {
+		name = DefaultProfile()
+	}
+	return profile.Resolve(name)
+}

@@ -13,7 +13,7 @@ import (
 	"repro/internal/hyper"
 	"repro/internal/hyperv"
 	"repro/internal/machine"
-	"repro/internal/vmx"
+	"repro/internal/profile"
 	"repro/internal/xen"
 )
 
@@ -75,11 +75,25 @@ type Spec struct {
 	// means the mode's default (FeaturesVP / FeaturesAll). This is how the
 	// Figure 8 increments are expressed.
 	Features core.Features
+	// Profile names the calibration profile (internal/profile) the stack is
+	// built under; "" means the harness default (SetDefaultProfile, then
+	// NVSIM_PROFILE, then xeon-silver-4114). The resolved profile supplies
+	// both the cost model and the host capability word.
+	Profile string
+	// Enlightened registers the guest hypervisor's enlightenment interceptor
+	// (hyperv.Enlightenment or xen.Enlightenment) on the world, so exits the
+	// enlightenment claims are handled directly at the host instead of being
+	// forwarded — the interceptor-chain path AE artifact runs exercise.
+	// Requires Depth >= 2 and a non-KVM guest.
+	Enlightened bool
 }
 
 // Stack is an assembled evaluation configuration.
 type Stack struct {
-	Spec    Spec
+	Spec Spec
+	// Profile is the resolved calibration profile the stack was built under —
+	// the provenance record CLIs stamp into headers and artifacts.
+	Profile profile.Profile
 	Machine *machine.Machine
 	World   *hyper.World
 	DVH     *core.DVH
@@ -113,18 +127,35 @@ func Build(spec Spec) (*Stack, error) {
 	if spec.Depth == 1 && (spec.IO == IODVHVP || spec.IO == IODVH) {
 		return nil, fmt.Errorf("experiment: %v requires a nested VM (depth >= 2)", spec.IO)
 	}
+	if spec.Enlightened {
+		if spec.Depth < 2 {
+			return nil, fmt.Errorf("experiment: Enlightened requires a nested stack (depth >= 2); there is no guest hypervisor to enlighten at depth %d", spec.Depth)
+		}
+		if spec.Guest == GuestKVM {
+			return nil, fmt.Errorf("experiment: Enlightened requires a Hyper-V or Xen guest hypervisor; KVM has no enlightenment interceptor")
+		}
+	}
+	prof, err := resolveProfile(spec.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	m, err := machine.New(machine.Config{
 		Name:        fmt.Sprintf("cloudlab-L%d-%v", spec.Depth, spec.IO),
 		CPUs:        10,
 		MemoryBytes: 96 << 30,
-		Caps:        vmx.HardwareCaps,
+		Caps:        prof.Caps,
 		NICVFs:      8,
 	})
 	if err != nil {
 		return nil, err
 	}
 	host := hyper.NewHost(m, hyper.KVM{})
-	st := &Stack{Spec: spec, Machine: m, World: hyper.NewWorld(host)}
+	st := &Stack{Spec: spec, Profile: prof, Machine: m, World: hyper.NewWorld(host)}
+	// Install the calibration before anything compiles or measures. This is
+	// the one place experiment stacks ever touch cost models or capability
+	// words; under the default profile it is a bit-identical no-op relative to
+	// the previously hard-coded DefaultCosts()/HardwareCaps pair.
+	profile.Apply(st.World, prof)
 
 	features := spec.Features
 	if features == 0 {
@@ -183,6 +214,21 @@ func Build(spec Spec) (*Stack, error) {
 	}
 	if st.DVH != nil && spec.Depth >= 2 {
 		if err := st.DVH.ConfigureVM(st.Target); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Enlightened {
+		var ic hyper.Interceptor
+		switch spec.Guest {
+		case GuestHyperV:
+			ic = hyperv.Enlightenment{}
+		case GuestXen:
+			ic = xen.Enlightenment{}
+		default:
+			// Unreachable: the GuestKVM case was rejected up front.
+			return nil, fmt.Errorf("experiment: no enlightenment interceptor for guest %d", spec.Guest)
+		}
+		if err := st.World.RegisterInterceptor(ic); err != nil {
 			return nil, err
 		}
 	}

@@ -130,6 +130,19 @@ func (w *World) SetHostCaps(caps vmx.Caps) {
 	w.Host.Machine.CapsGen++
 }
 
+// SetProfile installs a calibration profile's cost model and host capability
+// word in one step, bumping BOTH the cost and the caps generation. A profile
+// swap changes the two inputs compiled forward plans bake in — per-transition
+// cycle charges and the capability-shaped recursion structure (VMCS shadowing
+// versus full trips) — so either generation alone would leave a stale plan
+// replayable. The nvlint cachegen GenBumps contract pins both bumps.
+func (w *World) SetProfile(c CostModel, caps vmx.Caps) {
+	w.Costs = c
+	w.Host.Caps = caps
+	w.Host.Machine.CostGen++
+	w.Host.Machine.CapsGen++
+}
+
 // stack returns the hypervisor at each level beneath v: stack[0] is the
 // host, stack[k] the guest hypervisor at level k, up to v.VM.Level-1.
 // The result is cached on the vCPU — the pipeline consults it on every exit —

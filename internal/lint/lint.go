@@ -110,9 +110,11 @@ type CacheGenConfig struct {
 	// name the generation counter or the reason the read is not a plan input.
 	GuardedReads map[string]string
 	// GenBumps maps a generation setter ("pkg/path.(*Recv).Method") to the
-	// counter field ("pkg/path.Type.Field") its body must increment. Deleting
-	// the bump from the setter fails the rule.
-	GenBumps map[string]string
+	// counter fields ("pkg/path.Type.Field") its body must increment — more
+	// than one for setters like SetProfile that replace several guarded
+	// inputs at once. Deleting any of the bumps from the setter fails the
+	// rule.
+	GenBumps map[string][]string
 	// SetterOnly maps a guarded field ("pkg/path.Type.Field") to the only
 	// functions allowed to assign it; a write anywhere else would bypass the
 	// generation bump and is flagged.
@@ -253,19 +255,32 @@ func ModuleConfig(dir string) (Config, error) {
 			mp + "/internal/hyper.Hypervisor.Machine":     "fixed at hypervisor construction",
 			mp + "/internal/machine.Machine.Stats":        "emission sink, not a plan input",
 		},
-		GenBumps: map[string]string{
-			mp + "/internal/hyper.(*World).SetCosts":    mp + "/internal/machine.Machine.CostGen",
-			mp + "/internal/hyper.(*World).SetHostCaps": mp + "/internal/machine.Machine.CapsGen",
-			mp + "/internal/hyper.(*VM).ProvideVIOMMU":  mp + "/internal/machine.Machine.CapsGen",
+		GenBumps: map[string][]string{
+			mp + "/internal/hyper.(*World).SetCosts":    {mp + "/internal/machine.Machine.CostGen"},
+			mp + "/internal/hyper.(*World).SetHostCaps": {mp + "/internal/machine.Machine.CapsGen"},
+			mp + "/internal/hyper.(*VM).ProvideVIOMMU":  {mp + "/internal/machine.Machine.CapsGen"},
+			// A calibration-profile swap replaces the cost model AND the host
+			// capability word; a compiled plan bakes both in, so SetProfile
+			// must move both generations — bumping only one would leave plans
+			// keyed on the other replaying stale state.
+			mp + "/internal/hyper.(*World).SetProfile": {
+				mp + "/internal/machine.Machine.CostGen",
+				mp + "/internal/machine.Machine.CapsGen",
+			},
 		},
 		SetterOnly: map[string][]string{
-			mp + "/internal/hyper.World.Costs": {mp + "/internal/hyper.(*World).SetCosts"},
+			mp + "/internal/hyper.World.Costs": {
+				mp + "/internal/hyper.(*World).SetCosts",
+				mp + "/internal/hyper.(*World).SetProfile",
+			},
 			// ProvideVIOMMU propagates the vIOMMU capability bits into a
 			// nested hypervisor's word; it carries the same CapsGen bump
-			// obligation as SetHostCaps (enforced by GenBumps above).
+			// obligation as SetHostCaps (enforced by GenBumps above), and
+			// SetProfile installs a profile's capability word the same way.
 			mp + "/internal/hyper.Hypervisor.Caps": {
 				mp + "/internal/hyper.(*World).SetHostCaps",
 				mp + "/internal/hyper.(*VM).ProvideVIOMMU",
+				mp + "/internal/hyper.(*World).SetProfile",
 			},
 		},
 	}

@@ -129,8 +129,9 @@ func TestGoldenSuppressionsRecorded(t *testing.T) {
 }
 
 // cacheGenTestConfig wires the cachegen fixture: Compile is the compile
-// root, World/CostModel are watched, and SetCosts/SetCaps are generation
-// setters (SetCaps deliberately missing its bump).
+// root, World/CostModel are watched, and SetCosts/SetCaps/SetProfile are
+// generation setters (SetCaps deliberately missing its bump; SetProfile owes
+// two bumps and deliberately delivers only CostGen).
 func cacheGenTestConfig(c *Config) {
 	c.CacheGen = &CacheGenConfig{
 		CompileRoots: []string{"lintcheck/cachegen.Compile"},
@@ -140,12 +141,19 @@ func cacheGenTestConfig(c *Config) {
 			"lintcheck/cachegen.World.Costs": "CostGen",
 			"lintcheck/cachegen.World.Caps":  "CapsGen",
 		},
-		GenBumps: map[string]string{
-			"lintcheck/cachegen.(*World).SetCosts": "lintcheck/cachegen.Machine.CostGen",
-			"lintcheck/cachegen.(*World).SetCaps":  "lintcheck/cachegen.Machine.CapsGen",
+		GenBumps: map[string][]string{
+			"lintcheck/cachegen.(*World).SetCosts": {"lintcheck/cachegen.Machine.CostGen"},
+			"lintcheck/cachegen.(*World).SetCaps":  {"lintcheck/cachegen.Machine.CapsGen"},
+			"lintcheck/cachegen.(*World).SetProfile": {
+				"lintcheck/cachegen.Machine.CostGen",
+				"lintcheck/cachegen.Machine.CapsGen",
+			},
 		},
 		SetterOnly: map[string][]string{
-			"lintcheck/cachegen.World.Costs": {"lintcheck/cachegen.(*World).SetCosts"},
+			"lintcheck/cachegen.World.Costs": {
+				"lintcheck/cachegen.(*World).SetCosts",
+				"lintcheck/cachegen.(*World).SetProfile",
+			},
 		},
 	}
 }

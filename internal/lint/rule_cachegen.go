@@ -111,9 +111,13 @@ func checkCacheGen(prog *program, cfg *Config, g *callGraph) ([]Finding, error) 
 	return out, nil
 }
 
-// checkGenBumps verifies each configured setter increments its generation
-// counter: deleting the bump from World.SetCosts must fail the build, because
-// every plan compiled before the change would replay against the new costs.
+// checkGenBumps verifies each configured setter increments every one of its
+// generation counters: deleting the bump from World.SetCosts must fail the
+// build, because every plan compiled before the change would replay against
+// the new costs. Setters that replace several guarded inputs at once
+// (SetProfile: cost model AND capability word) owe one bump per counter —
+// each missing bump is its own finding, so a setter that moves only one of
+// two generations is flagged for the other.
 func checkGenBumps(prog *program, cg *CacheGenConfig, g *callGraph) ([]Finding, error) {
 	var out []Finding
 	for _, setterSpec := range sortedKeys(cg.GenBumps) {
@@ -121,21 +125,23 @@ func checkGenBumps(prog *program, cg *CacheGenConfig, g *callGraph) ([]Finding, 
 		if err != nil {
 			return nil, err
 		}
-		fld, err := resolveField(prog, cg.GenBumps[setterSpec])
-		if err != nil {
-			return nil, err
-		}
 		fd, ok := prog.funcs[fn]
 		if !ok {
 			return nil, fmt.Errorf("lint: cachegen setter %q has no body in the loaded program", setterSpec)
 		}
-		if incrementsField(fd.pkg, fd.decl.Body, fld) {
-			continue
+		for _, fieldSpec := range cg.GenBumps[setterSpec] {
+			fld, err := resolveField(prog, fieldSpec)
+			if err != nil {
+				return nil, err
+			}
+			if incrementsField(fd.pkg, fd.decl.Body, fld) {
+				continue
+			}
+			pkg := fd.pkg
+			dirs := pkg.Directives[fileOf(pkg, fd.decl.Pos())]
+			out = append(out, finding(prog, pkg, dirs, fd.decl.Pos(), RuleCacheGen,
+				fmt.Sprintf("generation setter %s does not increment %s; plans compiled before a call would replay stale state", funcID(fn), fieldSpec)))
 		}
-		pkg := fd.pkg
-		dirs := pkg.Directives[fileOf(pkg, fd.decl.Pos())]
-		out = append(out, finding(prog, pkg, dirs, fd.decl.Pos(), RuleCacheGen,
-			fmt.Sprintf("generation setter %s does not increment %s; plans compiled before a call would replay stale state", funcID(fn), cg.GenBumps[setterSpec])))
 	}
 	return out, nil
 }

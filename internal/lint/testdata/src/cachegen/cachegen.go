@@ -52,6 +52,16 @@ func (w *World) SetCaps(v uint64) { // want "does not increment"
 	w.Caps = v
 }
 
+// SetProfile replaces costs AND caps in one call, so it is declared with two
+// generation obligations — but bumps only CostGen. The missing CapsGen bump
+// is the acceptance case for multi-counter setters: plans keyed on the
+// capability generation would replay the old capability word.
+func (w *World) SetProfile(c CostModel, caps uint64) { // want "does not increment"
+	w.Costs = c
+	w.Caps = caps
+	w.M.CostGen++
+}
+
 // Recalibrate writes a setter-only field without going through the setter,
 // skipping the generation bump.
 func (w *World) Recalibrate() {

@@ -1,0 +1,235 @@
+package profile
+
+import (
+	"repro/internal/hyper"
+	"repro/internal/vmx"
+)
+
+// The built-in profile set. Every profile documents its derivation: where
+// the transition costs come from and which anchors pin them. Only the
+// single-level ("VM"-column) quantities are calibrated; everything nested —
+// the 39,050-cycle L2 hypercall, the DVH fast paths — emerges from the
+// forwarding recursion, which is exactly why swapping a profile retargets
+// the whole evaluation without touching engine code.
+func init() {
+	mustRegister(XeonSilver4114())
+	mustRegister(IceLakeSP())
+	mustRegister(EPYCMilan())
+	mustRegister(HyperVVTPRHeavy())
+}
+
+// XeonSilver4114 is the paper's testbed: two CloudLab c220g2-class servers
+// with 10-core Xeon Silver 4114 (Skylake-SP) CPUs, VMCS shadowing, APICv
+// with posted interrupts, VT-d with posted interrupts and an SR-IOV NIC.
+// Costs are hyper.DefaultCosts(), bit-identical — this profile *is* the
+// previously hard-coded anchor, and every committed golden fixture and
+// BENCH artifact is generated under it.
+func XeonSilver4114() Profile {
+	return Profile{
+		Name: DefaultName,
+		Description: "Paper testbed: CloudLab Xeon Silver 4114 (Skylake-SP), " +
+			"VMCS shadowing + APICv/PI + VT-d PI + SR-IOV (Table 3 calibration)",
+		Costs: hyper.DefaultCosts(),
+		Caps:  vmx.HardwareCaps,
+		Anchors: []Anchor{
+			// The paper's Table 3 "VM" column, verbatim.
+			{Name: "Hypercall(VM)", Want: 1575},    // 750 + 225 + 600
+			{Name: "DevNotify(VM)", Want: 4984},    // 1,575 + 3,409
+			{Name: "ProgramTimer(VM)", Want: 2005}, // 1,575 + 430
+			{Name: "SendIPI(VM)", Want: 3273},      // 1,575 + 700 + 998
+		},
+	}
+}
+
+// IceLakeSP models a newer Intel server part (Xeon Gold 63xx, Ice Lake SP).
+// Derivation: VM transitions on Ice Lake measure roughly 25% faster than
+// Skylake-SP (microcoded VM-exit/entry paths shortened), so HwExit/HwEntry
+// shrink 750/600 -> 560/450 and dispatch 225 -> 190, giving the 1,200-cycle
+// null hypercall anchor. VMCS-shadowing accesses are cheaper still (40 ->
+// 28) — the generation's headline nested-virtualization improvement — and
+// the host-side emulation works (reflect, merge, virtio backend, EPT walks)
+// scale by the same ~0.85 core-for-core factor at equal clocks. Feature set
+// matches the paper machine: shadowing, APICv/PI, VT-d PI, SR-IOV.
+func IceLakeSP() Profile {
+	return Profile{
+		Name: "ice-lake-sp",
+		Description: "Ice Lake SP server (Xeon Gold 63xx class): ~25% faster " +
+			"VM transitions and cheaper VMCS shadowing than the paper's Skylake-SP",
+		Costs: hyper.CostModel{
+			HwExit:       560,
+			HwEntry:      450,
+			HostDispatch: 190, // anchor: Hypercall(VM) = 1,200
+
+			ShadowVMAccess:  28,
+			NativeVMAccess:  24,
+			PrivEmulWork:    300,
+			ReflectWork:     760,
+			ResumeMergeWork: 1020,
+
+			TimerProgramWork:  380, // anchor: ProgramTimer(VM) = 1,580
+			TimerOffsetWork:   130,
+			DVHTimerCheckWork: 860,
+
+			IPIEmulWork:       620,
+			WakeWork:          905, // anchor: SendIPI(VM) = 2,725
+			GuestWakeWork:     2400,
+			VCIMTLookupWork:   1610,
+			VCIMTPerLevelWork: 95,
+
+			VirtioBackendWork: 3150, // anchor: DevNotify(VM) = 4,350
+			EPTWalkPerLevel:   1900,
+			EPTFillWork:       1550,
+			TLBHitCost:        17,
+			DVHCheckWork:      215,
+
+			APICvEOICost: 45,
+
+			EnlightenedHypercallWork: 420,
+			EvtchnNotifyWork:         560,
+
+			HLTBlockWork:        690,
+			InjectPostedRunning: 260,
+			InjectExitPath:      2050,
+			MMIODirect:          215,
+		},
+		Caps: vmx.HardwareCaps,
+		Anchors: []Anchor{
+			{Name: "Hypercall(VM)", Want: 1200},
+			{Name: "DevNotify(VM)", Want: 4350},
+			{Name: "ProgramTimer(VM)", Want: 1580},
+			{Name: "SendIPI(VM)", Want: 2725},
+		},
+	}
+}
+
+// EPYCMilan models an AMD EPYC 7543 (Zen 3) host. Derivation: AMD has no
+// VMCS-shadowing analog — a guest hypervisor's virtualization-structure
+// accesses all take the NativeVMAccess path in root mode, so the capability
+// word drops vmx.CapVMCSShadowing and the forwarding recursion prices every
+// nested VMREAD/VMWRITE as a full trip; that asymmetry, not the anchors, is
+// what makes Milan's nested columns diverge hardest from Intel's. World
+// switches (VMRUN/#VMEXIT) are measurably heavier than VT-x on this
+// generation: 880/710 exit/entry plus a lean 210-cycle dispatch give the
+// 1,800-cycle hypercall anchor. VMCB accesses themselves are plain cached
+// memory (22 cycles); NPT walk and fill costs sit slightly below the Intel
+// EPT numbers (larger page-walk caches), and AVIC's EOI virtualization is
+// marginally costlier than APICv's (55 vs 50).
+func EPYCMilan() Profile {
+	return Profile{
+		Name: "epyc-milan",
+		Description: "AMD EPYC 7543 (Zen 3): no VMCS shadowing (NativeVMAccess-only " +
+			"nesting path), heavier world switches, AVIC + IOMMU posted interrupts",
+		Costs: hyper.CostModel{
+			HwExit:       880,
+			HwEntry:      710,
+			HostDispatch: 210, // anchor: Hypercall(VM) = 1,800
+
+			// ShadowVMAccess is inert on this profile — the capability word
+			// carries no CapVMCSShadowing, so the recursion never prices it;
+			// it is pinned equal to NativeVMAccess so a stray read would
+			// still be calibrated rather than nonsense.
+			ShadowVMAccess:  22,
+			NativeVMAccess:  22,
+			PrivEmulWork:    330,
+			ReflectWork:     840,
+			ResumeMergeWork: 1100,
+
+			TimerProgramWork:  410, // anchor: ProgramTimer(VM) = 2,210
+			TimerOffsetWork:   140,
+			DVHTimerCheckWork: 930,
+
+			IPIEmulWork:       750,
+			WakeWork:          1030, // anchor: SendIPI(VM) = 3,580
+			GuestWakeWork:     2650,
+			VCIMTLookupWork:   1700,
+			VCIMTPerLevelWork: 105,
+
+			VirtioBackendWork: 3240, // anchor: DevNotify(VM) = 5,040
+			EPTWalkPerLevel:   2050,
+			EPTFillWork:       1700,
+			TLBHitCost:        19,
+			DVHCheckWork:      235,
+
+			APICvEOICost: 55,
+
+			EnlightenedHypercallWork: 460,
+			EvtchnNotifyWork:         610,
+
+			HLTBlockWork:        760,
+			InjectPostedRunning: 290,
+			InjectExitPath:      2300,
+			MMIODirect:          235,
+		},
+		Caps: vmx.HardwareCaps.Without(vmx.CapVMCSShadowing),
+		Anchors: []Anchor{
+			{Name: "Hypercall(VM)", Want: 1800},
+			{Name: "DevNotify(VM)", Want: 5040},
+			{Name: "ProgramTimer(VM)", Want: 2210},
+			{Name: "SendIPI(VM)", Want: 3580},
+		},
+	}
+}
+
+// HyperVVTPRHeavy models the paper-testbed hardware hosting a Windows
+// VBS-style stack: an L1 Hyper-V whose guests lean on enlightenments and
+// whose interrupt path is vTPR-write heavy. Derivation: same Skylake-SP
+// silicon, so HwExit/HwEntry stay 750/600, but the host's dispatch carries
+// VMBus-aware routing (225 -> 260, hypercall anchor 1,610) and the
+// reflect/merge works grow ~10-12% from Hyper-V's larger enlightened VMCS
+// surface. The skew the profile exists for: direct-virtual-flush hypercalls
+// are tuned hot (EnlightenedHypercallWork 480 -> 340), while EOI/vTPR
+// traffic is costlier than pure-APICv guests (APICvEOICost 50 -> 120,
+// partially trapped TPR thresholds), and a parked vCPU's guest-side
+// reschedule is heavier under Hyper-V's scheduler (GuestWakeWork 2,800 ->
+// 3,100).
+func HyperVVTPRHeavy() Profile {
+	return Profile{
+		Name: "hyperv-vtpr-heavy",
+		Description: "Paper-testbed silicon under a Hyper-V/VBS guest mix: " +
+			"enlightenment-tuned hypercalls, vTPR/EOI-heavy interrupt path",
+		Costs: hyper.CostModel{
+			HwExit:       750,
+			HwEntry:      600,
+			HostDispatch: 260, // anchor: Hypercall(VM) = 1,610
+
+			ShadowVMAccess:  40,
+			NativeVMAccess:  30,
+			PrivEmulWork:    350,
+			ReflectWork:     1000,
+			ResumeMergeWork: 1350,
+
+			TimerProgramWork:  455, // anchor: ProgramTimer(VM) = 2,065
+			TimerOffsetWork:   150,
+			DVHTimerCheckWork: 1000,
+
+			IPIEmulWork:       730,
+			WakeWork:          1040, // anchor: SendIPI(VM) = 3,380
+			GuestWakeWork:     3100,
+			VCIMTLookupWork:   1845,
+			VCIMTPerLevelWork: 110,
+
+			VirtioBackendWork: 3520, // anchor: DevNotify(VM) = 5,130
+			EPTWalkPerLevel:   2200,
+			EPTFillWork:       1800,
+			TLBHitCost:        20,
+			DVHCheckWork:      250,
+
+			APICvEOICost: 120,
+
+			EnlightenedHypercallWork: 340,
+			EvtchnNotifyWork:         650,
+
+			HLTBlockWork:        800,
+			InjectPostedRunning: 300,
+			InjectExitPath:      2400,
+			MMIODirect:          250,
+		},
+		Caps: vmx.HardwareCaps,
+		Anchors: []Anchor{
+			{Name: "Hypercall(VM)", Want: 1610},
+			{Name: "DevNotify(VM)", Want: 5130},
+			{Name: "ProgramTimer(VM)", Want: 2065},
+			{Name: "SendIPI(VM)", Want: 3380},
+		},
+	}
+}
