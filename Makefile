@@ -28,19 +28,20 @@ lint:
 
 # bench runs the harness and hot-path benchmarks: Figure 7 sequential vs
 # parallel pool, and the allocation-free nested Execute path in both plan
-# modes. It then regenerates BENCH_6.json, the committed machine-readable
+# modes. It then regenerates BENCH_10.json, the committed machine-readable
 # artifact (per-figure modeled cycles and overheads plus ns/op and allocs/op
 # for the pipeline's hot paths, uncached vs replayed).
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkFigure7|BenchmarkExecuteNested|BenchmarkExecute/' -benchmem ./internal/experiment/ ./internal/hyper/
-	$(GO) run ./cmd/nvperf -o BENCH_6.json
+	$(GO) run ./cmd/nvperf -o BENCH_10.json
 
 # bench-compare re-collects the artifact and gates it against the committed
-# BENCH_6.json: Table 3 cycles must match exactly, steady-state replay must
-# stay allocation-free and >= 5x faster than the uncached L3 forward path,
-# and no hot-path benchmark may regress more than 20% ns/op.
+# BENCH_10.json: Table 3 and delivery-storm cycles must match exactly,
+# steady-state replay must stay allocation-free and >= 5x faster than the
+# uncached recursion on the L3 forward and L3 timer-delivery paths, and no
+# hot-path benchmark may regress more than 20% ns/op.
 bench-compare:
-	$(GO) run ./cmd/nvperf -compare BENCH_6.json
+	$(GO) run ./cmd/nvperf -compare BENCH_10.json
 
 # FUZZ_TARGETS are the native fuzz targets in internal/check; go test allows
 # only one -fuzz per invocation, so fuzz-smoke loops. FUZZTIME=100x bounds

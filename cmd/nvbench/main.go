@@ -7,12 +7,15 @@
 //	nvbench -figure 9         # app overhead, three levels
 //	nvbench -figure 10        # Xen guest hypervisor
 //	nvbench -experiment migration
+//	nvbench -experiment storms          # delivery-storm microworkloads
+//	nvbench -experiment stages-sweep    # stage attribution on every profile
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiment"
 	"repro/internal/profile"
@@ -22,7 +25,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "regenerate a table (3)")
 	figure := flag.Int("figure", 0, "regenerate a figure (7, 8, 9, 10)")
-	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | stages | latency)")
+	exp := flag.String("experiment", "", "regenerate a named experiment (migration | depth | breakdown | stages | stages-sweep | workload-stages | storms | latency)")
 	all := flag.Bool("all", false, "regenerate everything")
 	par := flag.Int("parallel", 0, "worker goroutines for experiment cells: 0 = auto (NVSIM_PARALLEL or GOMAXPROCS), 1 = sequential")
 	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+"); see -list-profiles")
@@ -96,11 +99,24 @@ func main() {
 	if *all || *exp == "stages" {
 		run("Per-stage cycle attribution of Table 3 (the pipeline view)", stageBreakdown)
 	}
+	if *exp == "stages-sweep" {
+		run("Per-stage cycle attribution across calibration profiles", stagesSweep)
+	}
+	if *all || *exp == "workload-stages" {
+		run("Per-workload stage attribution (Figure 7 application mixes)", workloadStages)
+	}
+	if *all || *exp == "storms" {
+		run("Delivery storms (timer-storm, ipi-flood)", storms)
+	}
 	if *all || *exp == "latency" {
 		run("Per-transaction latency tails", latency)
 	}
-	if !*all && *exp != "" && *exp != "migration" && *exp != "depth" && *exp != "breakdown" && *exp != "stages" && *exp != "latency" {
-		fatalf("unknown experiment %q (available: migration, depth, breakdown, stages, latency)", *exp)
+	valid := map[string]bool{
+		"migration": true, "depth": true, "breakdown": true, "stages": true,
+		"stages-sweep": true, "workload-stages": true, "storms": true, "latency": true,
+	}
+	if !*all && *exp != "" && !valid[*exp] {
+		fatalf("unknown experiment %q (available: migration, depth, breakdown, stages, stages-sweep, workload-stages, storms, latency)", *exp)
 	}
 }
 
@@ -169,6 +185,41 @@ func stageBreakdown() (string, error) {
 		return "", err
 	}
 	return experiment.FormatStageBreakdown(rows), nil
+}
+
+// stagesSweep re-derives the Table 3 stage attribution under every registered
+// calibration profile, in profile.All's sorted order. The default profile's
+// block is byte-identical to -experiment stages.
+func stagesSweep() (string, error) {
+	var b strings.Builder
+	for i, p := range profile.All() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		rows, err := experiment.StageBreakdownUnder(p.Name)
+		if err != nil {
+			return "", fmt.Errorf("profile %s: %w", p.Name, err)
+		}
+		fmt.Fprintf(&b, "profile %s — %s\n", p.Name, p.Description)
+		b.WriteString(experiment.FormatStageBreakdown(rows))
+	}
+	return b.String(), nil
+}
+
+func workloadStages() (string, error) {
+	rows, err := experiment.WorkloadStageBreakdown()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatWorkloadStageBreakdown(rows), nil
+}
+
+func storms() (string, error) {
+	rows, err := experiment.DeliveryStorms()
+	if err != nil {
+		return "", err
+	}
+	return experiment.FormatStorms(rows), nil
 }
 
 func latency() (string, error) {

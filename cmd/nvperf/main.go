@@ -1,23 +1,25 @@
 // Command nvperf emits the machine-readable benchmark artifact for this
-// repository (BENCH_6.json): the modeled per-figure results — Table 3 cycles
-// and the Figure 7–10 overhead matrices — together with host-side hot-path
-// measurements (ns/op, allocs/op, B/op) for the exit-transaction pipeline,
-// including the forward-plan replay cache's uncached-vs-replayed pairs. The
+// repository (BENCH_10.json): the modeled per-figure results — Table 3
+// cycles, the delivery-storm matrix and the Figure 7–10 overhead matrices —
+// together with host-side hot-path measurements (ns/op, allocs/op, B/op) for
+// the exit-transaction pipeline, including the uncached-vs-replayed pairs of
+// both plan caches (forwarded exits and interrupt-delivery paths). The
 // modeled numbers are deterministic and comparable across machines; the
 // hot-path numbers measure the simulator itself and belong to the machine
 // that produced them.
 //
 // Usage:
 //
-//	nvperf [-o BENCH_6.json]
-//	nvperf -compare BENCH_6.json
+//	nvperf [-o BENCH_10.json]
+//	nvperf -compare BENCH_10.json
 //
 // -compare re-collects the artifact and gates against the given baseline:
-// Table 3 cycles must match exactly (they are deterministic model outputs),
-// steady-state replayed forward paths must stay allocation-free and at least
-// 5x faster than their uncached twins, and no hot-path benchmark may regress
-// more than 20% ns/op against the baseline. It exits non-zero on violation —
-// the `make bench-compare` gate inside `make check`.
+// Table 3 and storm cycles must match exactly (they are deterministic model
+// outputs), steady-state replayed forward and delivery paths must stay
+// allocation-free and at least 5x faster than their uncached twins on the L3
+// hypercall and L3 timer-delivery paths, and no hot-path benchmark may
+// regress more than 20% ns/op against the baseline. It exits non-zero on
+// violation — the `make bench-compare` gate inside `make check`.
 package main
 
 import (
@@ -32,9 +34,11 @@ import (
 	"repro/internal/profile"
 )
 
-// Artifact is the BENCH_6.json schema, version bench-v3: v3 adds the
-// calibration-profile provenance field, so a baseline records which testbed
-// anchors its modeled cycles were produced under.
+// Artifact is the BENCH_10.json schema, version bench-v4: v4 adds the
+// delivery-storm cycle matrix and the delivery-path uncached/replayed
+// hot-path pairs; v3 added the calibration-profile provenance field, so a
+// baseline records which testbed anchors its modeled cycles were produced
+// under.
 type Artifact struct {
 	Schema string `json:"schema"`
 	// Profile names the calibration profile the modeled figures were
@@ -79,7 +83,7 @@ type HotBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output path for the benchmark artifact")
+	out := flag.String("o", "BENCH_10.json", "output path for the benchmark artifact")
 	compare := flag.String("compare", "", "baseline artifact to gate against instead of writing one")
 	profName := flag.String("profile", "", "calibration profile (default $NVSIM_PROFILE, then "+profile.DefaultName+")")
 	flag.Parse()
@@ -91,7 +95,7 @@ func main() {
 	}
 	experiment.SetDefaultProfile(prof.Name)
 
-	a := Artifact{Schema: "nvperf/bench-v3", Profile: prof.Name}
+	a := Artifact{Schema: "nvperf/bench-v4", Profile: prof.Name}
 	if err := collectFigures(&a); err != nil {
 		fmt.Fprintln(os.Stderr, "nvperf:", err)
 		os.Exit(1)
@@ -175,11 +179,16 @@ func gate(a *Artifact, baselinePath string) error {
 		}
 	}
 
-	// The replay contract, self-relative on this machine: allocation-free and
-	// >= 5x faster than re-running the recursion at L3.
+	// The replay contract, self-relative on this machine: every replayed path
+	// — forwarded exits and delivery paths alike — is allocation-free, and the
+	// deep (L3) forwarding and timer-delivery paths are >= 5x faster than
+	// re-running their recursion.
 	for _, pair := range [][2]string{
 		{"execute/L2-hypercall-uncached", "execute/L2-hypercall-replayed"},
 		{"execute/L3-hypercall-uncached", "execute/L3-hypercall-replayed"},
+		{"deliver/L2-timer-uncached", "deliver/L2-timer-replayed"},
+		{"deliver/L3-timer-uncached", "deliver/L3-timer-replayed"},
+		{"deliver/L3-devirq-uncached", "deliver/L3-devirq-replayed"},
 	} {
 		un, ok1 := cur[pair[0]]
 		re, ok2 := cur[pair[1]]
@@ -189,7 +198,8 @@ func gate(a *Artifact, baselinePath string) error {
 		if re.AllocsPerOp != 0 {
 			return fmt.Errorf("%s: %d allocs/op, want 0 in steady-state replay", pair[1], re.AllocsPerOp)
 		}
-		if pair[0] == "execute/L3-hypercall-uncached" && un.NsPerOp < speedupFloor*re.NsPerOp {
+		deep := pair[0] == "execute/L3-hypercall-uncached" || pair[0] == "deliver/L3-timer-uncached"
+		if deep && un.NsPerOp < speedupFloor*re.NsPerOp {
 			return fmt.Errorf("%s speedup %.1fx over %s, want >= %.0fx",
 				pair[1], un.NsPerOp/re.NsPerOp, pair[0], speedupFloor)
 		}
@@ -197,26 +207,29 @@ func gate(a *Artifact, baselinePath string) error {
 	return nil
 }
 
-// compareCycles requires the Table 3 rows of both artifacts to be identical.
+// compareCycles requires the deterministic cycle matrices — Table 3 and the
+// delivery storms — of both artifacts to be identical.
 func compareCycles(base, cur *Artifact) error {
-	bt, ct := cyclesOf(base), cyclesOf(cur)
-	if bt == nil || ct == nil {
-		return fmt.Errorf("table3 missing from artifact")
-	}
-	if len(bt) != len(ct) {
-		return fmt.Errorf("table3 has %d rows, baseline %d", len(ct), len(bt))
-	}
-	for i := range bt {
-		if bt[i] != ct[i] {
-			return fmt.Errorf("table3 row %q drifted: %+v, baseline %+v", ct[i].Name, ct[i], bt[i])
+	for _, name := range []string{"table3", "storms"} {
+		bt, ct := cyclesOf(base, name), cyclesOf(cur, name)
+		if bt == nil || ct == nil {
+			return fmt.Errorf("%s missing from artifact", name)
+		}
+		if len(bt) != len(ct) {
+			return fmt.Errorf("%s has %d rows, baseline %d", name, len(ct), len(bt))
+		}
+		for i := range bt {
+			if bt[i] != ct[i] {
+				return fmt.Errorf("%s row %q drifted: %+v, baseline %+v", name, ct[i].Name, ct[i], bt[i])
+			}
 		}
 	}
 	return nil
 }
 
-func cyclesOf(a *Artifact) []CycleRow {
+func cyclesOf(a *Artifact, name string) []CycleRow {
 	for _, f := range a.Figures {
-		if f.Name == "table3" {
+		if f.Name == name {
 			return f.Cycles
 		}
 	}
@@ -246,6 +259,19 @@ func collectFigures(a *Artifact) error {
 	}
 	a.Figures = append(a.Figures, t3)
 
+	storms, err := experiment.DeliveryStorms()
+	if err != nil {
+		return fmt.Errorf("storms: %w", err)
+	}
+	sf := FigureData{Name: "storms"}
+	for _, r := range storms {
+		sf.Cycles = append(sf.Cycles, CycleRow{
+			Name: r.Name, VM: int64(r.VM), Nested: int64(r.Nested),
+			NestedD: int64(r.NestedD), L3: int64(r.L3), L3D: int64(r.L3D),
+		})
+	}
+	a.Figures = append(a.Figures, sf)
+
 	apps := []struct {
 		name string
 		run  func() ([]experiment.AppResult, error)
@@ -272,31 +298,59 @@ func collectFigures(a *Artifact) error {
 // collectHotPath benchmarks the pipeline's representative outcomes on this
 // host: single-level host emulation, the L2/L3 forwarding path in both plan
 // modes (uncached live recursion vs steady-state replay of the compiled
-// plan), and an interceptor-claimed exit (DVH doorbell). Each case drives
-// World.Execute through a prebuilt stack, so allocs/op is the pipeline's own
-// allocation count — the number the 0 allocs/op contract pins. The
-// uncached/replayed pairs produce identical simulation results; only the
-// host-side cost differs, which is what the -compare gate's 5x floor checks.
+// plan), an interceptor-claimed exit (DVH doorbell), and the delivery paths
+// the delivery-plan cache serves — timer injection and assigned-device IRQ
+// cascades — in the same two modes. Each case drives a boundary entry point
+// through a prebuilt stack, so allocs/op is the engine's own allocation count
+// — the number the 0 allocs/op contract pins. The uncached/replayed pairs
+// produce identical simulation results; only the host-side cost differs,
+// which is what the -compare gate's 5x floors check.
 func collectHotPath(a *Artifact) error {
+	execOp := func(op hyper.Op) func(st *experiment.Stack) func() error {
+		return func(st *experiment.Stack) func() error {
+			v := st.Target.VCPUs[0]
+			return func() error {
+				_, err := st.World.Execute(v, op)
+				return err
+			}
+		}
+	}
+	timer := func(st *experiment.Stack) func() error {
+		v := st.Target.VCPUs[0]
+		return func() error {
+			_, err := st.World.DeliverTimerIRQ(v)
+			return err
+		}
+	}
+	devirq := func(st *experiment.Stack) func() error {
+		v := st.Target.VCPUs[0]
+		return func() error {
+			_, err := st.World.DeliverDeviceIRQ(st.Net, v)
+			return err
+		}
+	}
 	cache := map[string]bool{"uncached": false, "replayed": true}
 	cases := []struct {
 		name string
 		spec experiment.Spec
 		mode string // "", "uncached" or "replayed"
-		op   func(st *experiment.Stack) hyper.Op
+		step func(st *experiment.Stack) func() error
 	}{
-		{"execute/L1-hypercall", experiment.Spec{Depth: 1, IO: experiment.IOParavirt}, "",
-			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L2-hypercall-uncached", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "uncached",
-			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L2-hypercall-replayed", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "replayed",
-			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L3-hypercall-uncached", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "uncached",
-			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
-		{"execute/L3-hypercall-replayed", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "replayed",
-			func(*experiment.Stack) hyper.Op { return hyper.Hypercall() }},
+		{"execute/L1-hypercall", experiment.Spec{Depth: 1, IO: experiment.IOParavirt}, "", execOp(hyper.Hypercall())},
+		{"execute/L2-hypercall-uncached", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "uncached", execOp(hyper.Hypercall())},
+		{"execute/L2-hypercall-replayed", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "replayed", execOp(hyper.Hypercall())},
+		{"execute/L3-hypercall-uncached", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "uncached", execOp(hyper.Hypercall())},
+		{"execute/L3-hypercall-replayed", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "replayed", execOp(hyper.Hypercall())},
 		{"execute/L2-doorbell-intercepted", experiment.Spec{Depth: 2, IO: experiment.IODVH}, "",
-			func(st *experiment.Stack) hyper.Op { return hyper.DevNotify(st.Net.Doorbell) }},
+			func(st *experiment.Stack) func() error { return execOp(hyper.DevNotify(st.Net.Doorbell))(st) }},
+		{"deliver/L2-timer-uncached", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "uncached", timer},
+		{"deliver/L2-timer-replayed", experiment.Spec{Depth: 2, IO: experiment.IOParavirt}, "replayed", timer},
+		{"deliver/L3-timer-uncached", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "uncached", timer},
+		{"deliver/L3-timer-replayed", experiment.Spec{Depth: 3, IO: experiment.IOParavirt}, "replayed", timer},
+		// DVH-VP without vIOMMU posting forces exit-based injection by the
+		// level-2 guest hypervisor — the reflected guestPath the cache serves.
+		{"deliver/L3-devirq-uncached", experiment.Spec{Depth: 3, IO: experiment.IODVHVP}, "uncached", devirq},
+		{"deliver/L3-devirq-replayed", experiment.Spec{Depth: 3, IO: experiment.IODVHVP}, "replayed", devirq},
 	}
 	for _, tc := range cases {
 		st, err := experiment.Build(tc.spec)
@@ -306,18 +360,17 @@ func collectHotPath(a *Artifact) error {
 		if tc.mode != "" {
 			st.World.SetPlanCache(cache[tc.mode])
 		}
-		v := st.Target.VCPUs[0]
-		op := tc.op(st)
-		// Warm caches (hypervisor stack, plan table in replayed mode) so the
+		step := tc.step(st)
+		// Warm caches (hypervisor stack, plan tables in replayed mode) so the
 		// measurement is steady state, not first-exit compilation.
-		if _, err := st.World.Execute(v, op); err != nil {
+		if err := step(); err != nil {
 			return fmt.Errorf("%s: %w", tc.name, err)
 		}
 		var execErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := st.World.Execute(v, op); err != nil {
+				if err := step(); err != nil {
 					execErr = err
 					b.FailNow()
 				}

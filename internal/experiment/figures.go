@@ -126,14 +126,18 @@ func runApps(configs []appConfig) ([]AppResult, error) {
 // Figure7 reproduces application overhead at up to two virtualization
 // levels across the six I/O configurations of the paper's Figure 7.
 func Figure7() ([]AppResult, error) {
-	return runApps([]appConfig{
-		{"VM", Spec{Depth: 1, IO: IOParavirt}},
-		{"VM+passthrough", Spec{Depth: 1, IO: IOPassthrough}},
-		{"Nested VM", Spec{Depth: 2, IO: IOParavirt}},
-		{"Nested VM+passthrough", Spec{Depth: 2, IO: IOPassthrough}},
-		{"Nested VM+DVH-VP", Spec{Depth: 2, IO: IODVHVP}},
-		{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
-	})
+	return runApps(figure7Configs)
+}
+
+// figure7Configs are Figure 7's six bars, shared with the per-workload stage
+// breakdown so both views describe the same configurations.
+var figure7Configs = []appConfig{
+	{"VM", Spec{Depth: 1, IO: IOParavirt}},
+	{"VM+passthrough", Spec{Depth: 1, IO: IOPassthrough}},
+	{"Nested VM", Spec{Depth: 2, IO: IOParavirt}},
+	{"Nested VM+passthrough", Spec{Depth: 2, IO: IOPassthrough}},
+	{"Nested VM+DVH-VP", Spec{Depth: 2, IO: IODVHVP}},
+	{"Nested VM+DVH", Spec{Depth: 2, IO: IODVH}},
 }
 
 // Figure8 reproduces the DVH technique breakdown: starting from DVH-VP,

@@ -60,6 +60,20 @@ func TestGoldenMatrix(t *testing.T) {
 			}
 			return FormatStageBreakdown(rows), nil
 		}},
+		{"storms.golden", func() (string, error) {
+			rows, err := DeliveryStorms()
+			if err != nil {
+				return "", err
+			}
+			return FormatStorms(rows), nil
+		}},
+		{"workloadstages.golden", func() (string, error) {
+			rows, err := WorkloadStageBreakdown()
+			if err != nil {
+				return "", err
+			}
+			return FormatWorkloadStageBreakdown(rows), nil
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

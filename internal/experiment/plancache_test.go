@@ -36,6 +36,19 @@ func renderMatrix(t *testing.T) string {
 		t.Fatal(err)
 	}
 	out += FormatStageBreakdown(sb)
+	// The delivery storms and the per-workload stage attribution exercise the
+	// delivery-plan cache (injection, cascade, wake, switch) in steady state —
+	// their byte-identity across cache modes is that cache's A/B contract.
+	storms, err := DeliveryStorms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += FormatStorms(storms)
+	ws, err := WorkloadStageBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += FormatWorkloadStageBreakdown(ws)
 	return out
 }
 

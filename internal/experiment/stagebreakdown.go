@@ -43,10 +43,19 @@ var stageConfigs = []appConfig{
 // -parallel width, and identical whether forwarded exits replay compiled
 // plans or run the live recursion (both charge the same StageForward lump).
 func StageBreakdown() ([]StageBreakdownRow, error) {
+	return StageBreakdownUnder("")
+}
+
+// StageBreakdownUnder is StageBreakdown with every cell built under the named
+// calibration profile ("" selects the harness default) — the unit of the
+// -stages sweep, which re-derives the attribution on each registered testbed.
+func StageBreakdownUnder(profileName string) ([]StageBreakdownRow, error) {
 	micros := workload.Micros()
 	return mapCells(len(stageConfigs)*len(micros), func(i int) (StageBreakdownRow, error) {
 		m, cfg := micros[i/len(stageConfigs)], stageConfigs[i%len(stageConfigs)]
-		st, err := Build(cfg.spec)
+		spec := cfg.spec
+		spec.Profile = profileName
+		st, err := Build(spec)
 		if err != nil {
 			return StageBreakdownRow{}, err
 		}

@@ -1,0 +1,119 @@
+package hyper
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vmx"
+)
+
+// This file extends the forward-plan replay cache (plan.go) to the delivery
+// side of the engine. Interrupt injection (guestPath), the DeviceRX virtio
+// cascade, wakeIfIdle's wake ladder and the guest scheduler's context-switch
+// charge are all pure cost/charge trees over the same inputs the forward
+// recursion has — the cost model, the host capability word, and the
+// personalities of the hypervisor stack — plus a little per-call state: the
+// exit reason, the injection/target level, the script being run, and (for
+// wakes) the idle-owner level. Folding that per-call state into the cache key
+// makes the delivery paths replayable exactly like forwarded exits: compiled
+// once through the same forwardSink recursions, replayed in O(levels +
+// deltas) with zero allocations, byte-identical to the live walk.
+//
+// Side effects never enter a plan. Posted-interrupt descriptor updates, LAPIC
+// delivery, NIC frame counters, the Idle flag flip, VMCS clear/load on a
+// switch, and the named stats counters all stay live in the callers; only the
+// charge tree is compiled, mirroring the forward cache's ownerEffects split.
+
+// deliveryKind names one cached delivery-path shape. Each kind gets its own
+// slot array in the planTable: their key spaces differ (reason+script for
+// injection, provider level for the cascade, idle-owner level for wakes,
+// switch level for scheduler switches), so they never share slots.
+type deliveryKind int
+
+const (
+	// dpInject is a guestPath interrupt injection: an exit into the
+	// hypervisor at the target level running a per-call script there.
+	dpInject deliveryKind = iota
+	// dpCascade is the DeviceRX receive cascade: the host vhost backend plus
+	// every interposing level's backend up to the provider level.
+	dpCascade
+	// dpWake is wakeIfIdle's wake ladder up to the idle-owner level. The
+	// no-wake case never reaches the cache — wakeIfIdle returns before the
+	// lookup — so "wake happened" is part of the key by construction.
+	dpWake
+	// dpSwitch is the guest scheduler's context-switch charge at the
+	// switching level.
+	dpSwitch
+)
+
+// numDeliveryKinds sizes the planTable's delivery slot array. Declared as an
+// int, not a deliveryKind constant, so it is not a member of the enum.
+const numDeliveryKinds = int(dpSwitch) + 1
+
+// deliveryPlan is a compiled delivery-path charge tree plus the per-call key
+// components the (kind, level) slot index does not already encode: the exit
+// reason and the script. Scripts are small comparable values, so an equality
+// check on the stored script is an exact script-identity guard — a caller
+// passing a different script (a personality handing out a new injection path)
+// misses the slot and recompiles. Stack personalities are pinned through the
+// embedded plan's pers array, exactly as forward plans pin them.
+type deliveryPlan struct {
+	forwardPlan
+	reason vmx.ExitReason
+	script Script
+}
+
+// compileDeliveryPlan walks one delivery path's charge tree with the
+// compiling sink and flattens it into an immutable replay plan. Cold path:
+// it runs once per (kind, reason, level, script, stack shape, caps, cost
+// model) and is amortized across every replay until an invalidation
+// generation moves.
+//
+//nvlint:cold
+func (w *World) compileDeliveryPlan(stack []*Hypervisor, kind deliveryKind, reason vmx.ExitReason, level int, s Script) *deliveryPlan {
+	b := &planBuilder{}
+	switch kind {
+	case dpInject:
+		b.plan.cost = w.guestPathCost(stack, reason, level, s, b)
+	case dpCascade:
+		b.plan.cost = w.rxCascadeCost(stack, level, b)
+	case dpWake:
+		b.plan.cost = w.wakeLadderCost(level, b)
+	case dpSwitch:
+		b.plan.cost = w.scriptCost(stack, level, s, b)
+	}
+	if stack != nil {
+		b.plan.owner = level
+		for k := 1; k <= level && k < trace.MaxLevels; k++ {
+			b.plan.pers[k] = stack[k].Personality
+		}
+	}
+	w.Plan.DeliveryCompiles++
+	return &deliveryPlan{forwardPlan: *b.finalize(), reason: reason, script: s}
+}
+
+// replayDeliveryPlan applies a compiled delivery plan — allocation-free, the
+// steady-state path for every injection, cascade, wake and switch.
+func (w *World) replayDeliveryPlan(p *deliveryPlan) sim.Cycles {
+	w.Plan.DeliveryReplays++
+	return w.applyPlan(&p.forwardPlan)
+}
+
+// deliveryPlanFor returns the compiled plan for one delivery path, compiling
+// on the first miss, whenever the generation triple flushed the table, and
+// whenever a per-call key component — exit reason, script, or a stack
+// personality — differs from what the cached slot was compiled against.
+// stack may be nil for kinds that never read it (dpWake); such plans pin no
+// personalities and match any stack.
+func (w *World) deliveryPlanFor(v *VCPU, stack []*Hypervisor, kind deliveryKind, reason vmx.ExitReason, level int, s Script) *deliveryPlan {
+	if level < 0 || level >= trace.MaxLevels {
+		// Beyond the accounting tables' level range; compile without caching.
+		return w.compileDeliveryPlan(stack, kind, reason, level, s)
+	}
+	t := w.planTableFor(v)
+	if p := t.delivery[kind][level]; p != nil && p.reason == reason && p.script == s && p.matchesStack(stack) {
+		return p
+	}
+	p := w.compileDeliveryPlan(stack, kind, reason, level, s)
+	t.delivery[kind][level] = p
+	return p
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vmx"
 )
 
@@ -54,7 +55,7 @@ func (w *World) deliverTimerIRQ(v *VCPU) (sim.Cycles, error) {
 			return 0, err
 		}
 		injector := v.VM.Level - 1
-		cost = w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
+		cost = w.guestPath(v, stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
 	}
 	wake, err := w.WakeIfIdle(v)
 	if err != nil {
@@ -82,18 +83,32 @@ func (w *World) wakeIfIdle(dest *VCPU) (sim.Cycles, error) {
 		return 0, nil
 	}
 	dest.Idle = false
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.Inc("idle.wakes", 1)
+	w.Host.Machine.Stats.Inc("idle.wakes", 1)
 
+	// The idle-owner level is recomputed live on every wake — it depends on
+	// the stack's HLT-exiting controls, which DVH virtual idle flips without
+	// moving any generation — and is the wake plan's key. The no-wake case
+	// returned above, so "a wake happened" is in the key by construction.
 	idleOwner := w.ownerLevel(dest, Op{Kind: OpHLT})
-	stats.ChargeLevel(0, c.WakeWork)
+	if w.planCacheOff || idleOwner < 0 || idleOwner >= trace.MaxLevels {
+		return w.wakeLadderCost(idleOwner, w), nil
+	}
+	return w.replayDeliveryPlan(w.deliveryPlanFor(dest, nil, dpWake, vmx.ExitHLT, idleOwner, Script{})), nil
+}
+
+// wakeLadderCost is the wake ladder's pure charge tree: the host processes
+// the posted notification and unblocks the destination, then every guest
+// hypervisor level that had parked the vCPU runs its scheduler and re-enters
+// the guest. Written once over the sink, like every cached delivery path.
+func (w *World) wakeLadderCost(idleOwner int, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	sink.chargeLevel(0, c.WakeWork)
 	cost := c.WakeWork
 	for j := 1; j <= idleOwner; j++ {
-		stats.ChargeLevel(j, c.GuestWakeWork)
+		sink.chargeLevel(j, c.GuestWakeWork)
 		cost += c.GuestWakeWork
 	}
-	return cost, nil
+	return cost
 }
 
 // DeliverDeviceIRQ models a completion interrupt from a device to the vCPU
@@ -135,28 +150,39 @@ func (w *World) deliverDeviceIRQ(dev *AssignedDevice, target *VCPU) (sim.Cycles,
 	if err != nil {
 		return 0, err
 	}
-	inj := w.guestPath(stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
+	inj := w.guestPath(target, stack, vmx.ExitExternalInterrupt, injector, stack[injector].Personality.InjectScript())
 	return inj + wake, nil
 }
 
 // guestPath charges an exit into the hypervisor at the given level that runs
 // the supplied script there (reflecting through intermediate levels), without
 // any owner side effects — the building block for injection and receive-path
-// interpositions. It always runs the recursion live (with the world as the
-// sink): delivery paths depend on per-call scripts, so they are not covered
-// by the forward-plan cache.
-func (w *World) guestPath(stack []*Hypervisor, reason vmx.ExitReason, level int, s Script) sim.Cycles {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
-	stats.RecordHardwareExit(reason)
-	stats.RecordHandledExit(reason, level)
-	w.Tracer.Record(reason, level+1, level)
-	cost := c.HwExit + c.ReflectWork + c.HwEntry
-	stats.ChargeLevel(0, cost)
-	for j := 1; j < level; j++ {
-		cost += w.scriptCost(stack, j, stack[j].Personality.ReflectScript(), w)
+// interpositions. The per-call state delivery paths depend on — the exit
+// reason and the script — is part of the delivery-plan cache key, so the
+// steady state replays a compiled plan; NVSIM_NOPLANCACHE (and any level the
+// accounting tables cannot index) runs the byte-identical live recursion.
+func (w *World) guestPath(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, level int, s Script) sim.Cycles {
+	if w.planCacheOff || level < 1 || level >= trace.MaxLevels {
+		return w.guestPathCost(stack, reason, level, s, w)
 	}
-	cost += w.scriptCost(stack, level, s, w)
+	return w.replayDeliveryPlan(w.deliveryPlanFor(v, stack, dpInject, reason, level, s))
+}
+
+// guestPathCost is guestPath's pure charge tree, written once and
+// parameterized over the sink: the live *World sink is the
+// NVSIM_NOPLANCACHE reference, the *planBuilder sink the delivery-plan
+// compiler — so a compiled plan cannot diverge from the live walk.
+func (w *World) guestPathCost(stack []*Hypervisor, reason vmx.ExitReason, level int, s Script, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	sink.hardwareExit(reason)
+	sink.handledExit(reason, level)
+	sink.traceEvent(reason, level+1, level, 1)
+	cost := c.HwExit + c.ReflectWork + c.HwEntry
+	sink.chargeLevel(0, cost)
+	for j := 1; j < level; j++ {
+		cost += w.scriptCost(stack, j, stack[j].Personality.ReflectScript(), sink)
+	}
+	cost += w.scriptCost(stack, level, s, sink)
 	return cost
 }
 
@@ -174,27 +200,23 @@ func (w *World) DeviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) 
 }
 
 func (w *World) deviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) {
-	c := &w.Costs
-	stats := w.Host.Machine.Stats
 	var cost sim.Cycles
 	w.Host.Machine.NIC.RxFrames++
 
 	if dev.Phys == nil {
-		// The host backend (vhost) receives from the wire.
-		stats.ChargeLevel(0, c.VirtioBackendWork)
-		cost += c.VirtioBackendWork
-		if dev.ProviderLevel >= 1 {
-			stack, err := w.stack(target)
+		provider := dev.ProviderLevel
+		var stack []*Hypervisor
+		if provider >= 1 {
+			var err error
+			stack, err = w.stack(target)
 			if err != nil {
 				return 0, err
 			}
-			// Each interposing hypervisor's backend runs its receive path
-			// and re-queues the data into the next level's ring.
-			for j := 1; j <= dev.ProviderLevel; j++ {
-				cost += w.guestPath(stack, vmx.ExitEPTViolation, j, stack[j].Personality.HandlerScript(vmx.ExitEPTViolation))
-				stats.ChargeLevel(j, c.VirtioBackendWork)
-				cost += c.VirtioBackendWork
-			}
+		}
+		if w.planCacheOff || provider < 0 || provider >= trace.MaxLevels {
+			cost += w.rxCascadeCost(stack, provider, w)
+		} else {
+			cost += w.replayDeliveryPlan(w.deliveryPlanFor(target, stack, dpCascade, vmx.ExitEPTViolation, provider, Script{}))
 		}
 	}
 	del, err := w.DeliverDeviceIRQ(dev, target)
@@ -202,6 +224,22 @@ func (w *World) deviceRX(dev *AssignedDevice, target *VCPU) (sim.Cycles, error) 
 		return 0, err
 	}
 	return cost + del, nil
+}
+
+// rxCascadeCost is the receive cascade's pure charge tree: the host backend
+// (vhost) receives from the wire, then each interposing hypervisor's backend
+// runs its receive path and re-queues the data into the next level's ring.
+// stack may be nil when provider < 1 (nothing interposes).
+func (w *World) rxCascadeCost(stack []*Hypervisor, provider int, sink forwardSink) sim.Cycles {
+	c := &w.Costs
+	sink.chargeLevel(0, c.VirtioBackendWork)
+	cost := c.VirtioBackendWork
+	for j := 1; j <= provider; j++ {
+		cost += w.guestPathCost(stack, vmx.ExitEPTViolation, j, stack[j].Personality.HandlerScript(vmx.ExitEPTViolation), sink)
+		sink.chargeLevel(j, c.VirtioBackendWork)
+		cost += c.VirtioBackendWork
+	}
+	return cost
 }
 
 // ipiDestination resolves an ICR destination to a vCPU of the sender's VM.

@@ -302,6 +302,15 @@ func (w *World) compileForwardPlan(stack []*Hypervisor, reason vmx.ExitReason, o
 // byte-identical to re-running the recursion live. Allocation-free — this is
 // the steady-state forwarded-exit path.
 func (w *World) replayForwardPlan(p *forwardPlan) sim.Cycles {
+	w.Plan.Replays++
+	return w.applyPlan(p)
+}
+
+// applyPlan applies a compiled plan's deltas — the aggregated per-level
+// charges, the exit counts, and the run-length-encoded trace timeline — and
+// returns the plan's total cost. Shared by forward and delivery replay; the
+// per-kind replay entry points differ only in which meta-counter they bump.
+func (w *World) applyPlan(p *forwardPlan) sim.Cycles {
 	stats := w.Host.Machine.Stats
 	for l := range p.levels {
 		if c := p.levels[l]; c != 0 {
@@ -319,32 +328,27 @@ func (w *World) replayForwardPlan(p *forwardPlan) sim.Cycles {
 			w.Tracer.RecordRun(e.reason, e.from, e.handler, e.n)
 		}
 	}
-	w.Plan.Replays++
 	return p.cost
 }
 
-// planTable is a vCPU's compiled-plan cache, one slot per (exit reason,
-// owner level), valid for one (topology, cost-model, caps) generation
-// triple — the same per-vCPU generational pattern as the hypervisor-stack
-// cache, extended with the two generations plans additionally depend on.
+// planTable is a vCPU's compiled-plan cache, valid for one (topology,
+// cost-model, caps) generation triple — the same per-vCPU generational
+// pattern as the hypervisor-stack cache, extended with the two generations
+// plans additionally depend on. Forward plans get one slot per (exit reason,
+// owner level); delivery plans (deliveryplan.go) one per (kind, level).
 type planTable struct {
 	topoGen, costGen, capsGen uint64
 	slots                     [vmx.NumReasonIndexes][trace.MaxLevels]*forwardPlan
+	delivery                  [numDeliveryKinds][trace.MaxLevels]*deliveryPlan
 }
 
-// forwardPlanFor returns the compiled plan for a forwarded exit, compiling
-// on the first miss and whenever an invalidation generation moved: topology
-// (Machine.TopoGen — VM creation, hypervisor installation, repinning),
-// cost model (Machine.CostGen — World.SetCosts), or capabilities
-// (Machine.CapsGen — World.SetHostCaps, DVH enablement). The stale check and
-// the personality-shape match are both O(levels); the steady-state hit path
-// allocates nothing.
-func (w *World) forwardPlanFor(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, owner int) *forwardPlan {
-	if owner < 1 || owner >= trace.MaxLevels {
-		// Beyond the accounting tables' level range; nothing at this depth is
-		// steady-state, so compile without caching.
-		return w.compileForwardPlan(stack, reason, owner)
-	}
+// planTableFor returns v's plan table, lazily created, flushing every slot —
+// forward and delivery alike — whenever an invalidation generation moved:
+// topology (Machine.TopoGen — VM creation, hypervisor installation,
+// repinning), cost model (Machine.CostGen — World.SetCosts), or capabilities
+// (Machine.CapsGen — World.SetHostCaps, DVH enablement). The stale check is
+// O(1); the steady-state path allocates nothing.
+func (w *World) planTableFor(v *VCPU) *planTable {
 	m := w.Host.Machine
 	t := v.plans
 	if t == nil {
@@ -353,9 +357,23 @@ func (w *World) forwardPlanFor(v *VCPU, stack []*Hypervisor, reason vmx.ExitReas
 		v.plans = t
 	} else if t.topoGen != m.TopoGen || t.costGen != m.CostGen || t.capsGen != m.CapsGen {
 		t.slots = [vmx.NumReasonIndexes][trace.MaxLevels]*forwardPlan{}
+		t.delivery = [numDeliveryKinds][trace.MaxLevels]*deliveryPlan{}
 		t.topoGen, t.costGen, t.capsGen = m.TopoGen, m.CostGen, m.CapsGen
 		w.Plan.Invalidations++
 	}
+	return t
+}
+
+// forwardPlanFor returns the compiled plan for a forwarded exit, compiling on
+// the first miss and whenever the table was flushed. The personality-shape
+// match is O(levels); the steady-state hit path allocates nothing.
+func (w *World) forwardPlanFor(v *VCPU, stack []*Hypervisor, reason vmx.ExitReason, owner int) *forwardPlan {
+	if owner < 1 || owner >= trace.MaxLevels {
+		// Beyond the accounting tables' level range; nothing at this depth is
+		// steady-state, so compile without caching.
+		return w.compileForwardPlan(stack, reason, owner)
+	}
+	t := w.planTableFor(v)
 	if p := t.slots[reason.Index()][owner]; p != nil && p.matchesStack(stack) {
 		return p
 	}

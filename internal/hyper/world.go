@@ -8,25 +8,32 @@ import (
 	"repro/internal/vmx"
 )
 
-// NoPlanCacheEnv disables the forward-plan replay cache when set to anything
-// but "" or "0" — the escape hatch (and A/B lever) that forces every
-// forwarded exit back through the live recursion. Plans are compiled from the
-// same recursion the live path runs, so results are byte-identical either
-// way; the env var exists so that claim stays testable, not because the modes
-// may legitimately differ.
+// NoPlanCacheEnv disables the plan replay caches — forward (plan.go) and
+// delivery (deliveryplan.go) — when set to anything but "" or "0": the escape
+// hatch (and A/B lever) that forces every forwarded exit and every delivery
+// path back through the live recursion. Plans are compiled from the same
+// recursions the live paths run, so results are byte-identical either way;
+// the env var exists so that claim stays testable, not because the modes may
+// legitimately differ.
 const NoPlanCacheEnv = "NVSIM_NOPLANCACHE"
 
-// PlanCacheStats counts forward-plan cache activity. Deliberately kept on the
-// World rather than in trace.Stats: cache meta-traffic depends on whether the
-// cache is on at all, and must not leak into experiment output (which is
+// PlanCacheStats counts plan-cache activity. Deliberately kept on the World
+// rather than in trace.Stats: cache meta-traffic depends on whether the cache
+// is on at all, and must not leak into experiment output (which is
 // byte-identical across cache modes).
 type PlanCacheStats struct {
 	// Compiles counts cold walks of the forwarding recursion.
 	Compiles uint64
 	// Replays counts forwarded exits served from a compiled plan.
 	Replays uint64
+	// DeliveryCompiles counts cold walks of a delivery-path charge tree
+	// (guestPath injection, RX cascade, wake ladder, scheduler switch).
+	DeliveryCompiles uint64
+	// DeliveryReplays counts delivery paths served from a compiled plan.
+	DeliveryReplays uint64
 	// Invalidations counts plan-table flushes caused by a moved topology,
-	// cost-model or capability generation.
+	// cost-model or capability generation. Forward and delivery slots share
+	// tables, so a flush invalidates both at once.
 	Invalidations uint64
 }
 
@@ -66,11 +73,11 @@ type World struct {
 	// (timer firing), where no Execute caller exists to receive it. Sticky;
 	// read it with AsyncErr after draining the engine.
 	asyncErr error
-	// planCacheOff disables forward-plan replay (see NoPlanCacheEnv and
-	// SetPlanCache); the default is cache on.
+	// planCacheOff disables forward- and delivery-plan replay (see
+	// NoPlanCacheEnv and SetPlanCache); the default is cache on.
 	planCacheOff bool
-	// Plan counts forward-plan cache activity (compiles, replays,
-	// invalidations) for tests and diagnostics.
+	// Plan counts plan-cache activity (compiles, replays, invalidations)
+	// for tests and diagnostics.
 	Plan PlanCacheStats
 }
 
@@ -104,12 +111,13 @@ func NewWorld(host *Hypervisor) *World {
 // plan-cache mode.
 func (w *World) AttachStageStats(ss *trace.StageStats) { w.Stages = ss }
 
-// SetPlanCache toggles the forward-plan replay cache, overriding the
-// NVSIM_NOPLANCACHE default. Intended for A/B tests; both modes produce
-// byte-identical simulation results.
+// SetPlanCache toggles the forward- and delivery-plan replay caches,
+// overriding the NVSIM_NOPLANCACHE default. Intended for A/B tests; both
+// modes produce byte-identical simulation results.
 func (w *World) SetPlanCache(on bool) { w.planCacheOff = !on }
 
-// PlanCacheEnabled reports whether forwarded exits replay compiled plans.
+// PlanCacheEnabled reports whether forwarded exits and delivery paths replay
+// compiled plans.
 func (w *World) PlanCacheEnabled() bool { return !w.planCacheOff }
 
 // SetCosts replaces the world's cost model and bumps the machine's cost

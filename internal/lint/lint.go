@@ -228,14 +228,18 @@ func ModuleConfig(dir string) (Config, error) {
 		mp + "/internal/trace.(*StageStats).ObserveSettled",
 	}
 	cfg.ByValueTypes = []string{mp + "/internal/hyper.Op"}
-	// cachegen: the forward-plan replay cache (internal/hyper/plan.go) bakes
-	// compile-path reads into cached plans; every one of them must be covered
-	// by a generation counter or be provably not a plan input. The walk from
-	// compileForwardPlan reaches both forwardSink implementations (the live
-	// World sink and the recording planBuilder) and every Personality, so
-	// the allowlist names exactly the state those read.
+	// cachegen: the plan replay caches (internal/hyper/plan.go and
+	// deliveryplan.go) bake compile-path reads into cached plans; every one
+	// of them must be covered by a generation counter or be provably not a
+	// plan input. The walks from compileForwardPlan and compileDeliveryPlan
+	// reach both forwardSink implementations (the live World sink and the
+	// recording planBuilder) and every Personality, so the allowlist names
+	// exactly the state those read.
 	cfg.CacheGen = &CacheGenConfig{
-		CompileRoots: []string{mp + "/internal/hyper.(*World).compileForwardPlan"},
+		CompileRoots: []string{
+			mp + "/internal/hyper.(*World).compileForwardPlan",
+			mp + "/internal/hyper.(*World).compileDeliveryPlan",
+		},
 		WatchedTypes: []string{
 			mp + "/internal/hyper.World",
 			mp + "/internal/hyper.Hypervisor",

@@ -128,13 +128,18 @@ func TestGoldenSuppressionsRecorded(t *testing.T) {
 	}
 }
 
-// cacheGenTestConfig wires the cachegen fixture: Compile is the compile
-// root, World/CostModel are watched, and SetCosts/SetCaps/SetProfile are
-// generation setters (SetCaps deliberately missing its bump; SetProfile owes
-// two bumps and deliberately delivers only CostGen).
+// cacheGenTestConfig wires the cachegen fixture: Compile and CompileDelivery
+// are the compile roots (the rule walks every root with the same guarded-
+// field obligations), World/CostModel are watched, and
+// SetCosts/SetCaps/SetProfile are generation setters (SetCaps deliberately
+// missing its bump; SetProfile owes two bumps and deliberately delivers only
+// CostGen).
 func cacheGenTestConfig(c *Config) {
 	c.CacheGen = &CacheGenConfig{
-		CompileRoots: []string{"lintcheck/cachegen.Compile"},
+		CompileRoots: []string{
+			"lintcheck/cachegen.Compile",
+			"lintcheck/cachegen.CompileDelivery",
+		},
 		WatchedTypes: []string{"lintcheck/cachegen.World", "lintcheck/cachegen.CostModel"},
 		GuardedReads: map[string]string{
 			"lintcheck/cachegen.CostModel":   "CostGen",

@@ -40,6 +40,16 @@ func helper(w *World) int {
 	return w.Tuning * 2 // want "not generation-guarded"
 }
 
+// CompileDelivery is a second compile root (the delivery-plan compiler
+// shape): the same guarded-field obligations apply to every root in
+// CompileRoots, so an unguarded read here must be flagged exactly as one
+// under Compile would be.
+func CompileDelivery(w *World, level int) int {
+	c := w.Costs.Alpha * level // guarded: CostModel whole-type, World.Costs
+	c += w.Tuning              // want "not generation-guarded"
+	return c
+}
+
 // SetCosts is the designated Costs setter and bumps its counter: clean.
 func (w *World) SetCosts(c CostModel) {
 	w.Costs = c

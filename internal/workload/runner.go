@@ -24,6 +24,13 @@ type Runner struct {
 	// artifact methodology (many runs, best average; Appendix A.6)
 	// meaningful to reproduce.
 	RNG *sim.RNG
+	// Stages, when non-nil, is attached to the world for the duration of a
+	// Run/RunFor (the previous sink is restored afterwards) and receives the
+	// per-stage cycle attribution of every boundary operation the workload
+	// drives — the per-workload stage profile nvreport surfaces. Guest
+	// compute is charged outside transactions and does not appear here; the
+	// stage totals decompose the run's virtualization cycles only.
+	Stages *trace.StageStats
 }
 
 // workJitterPermille bounds the ± work variation applied per transaction.
@@ -83,6 +90,11 @@ func (r *Runner) Run(n int) (Result, error) {
 	}
 	if err := r.validate(); err != nil {
 		return Result{}, err
+	}
+	if r.Stages != nil {
+		prev := r.W.Stages
+		r.W.AttachStageStats(r.Stages)
+		defer r.W.AttachStageStats(prev)
 	}
 
 	st := newRunState(r)
@@ -322,6 +334,11 @@ func (r *Runner) RunFor(duration sim.Cycles) (Result, error) {
 	}
 	if err := r.validate(); err != nil {
 		return Result{}, err
+	}
+	if r.Stages != nil {
+		prev := r.W.Stages
+		r.W.AttachStageStats(r.Stages)
+		defer r.W.AttachStageStats(prev)
 	}
 	eng := r.W.Host.Machine.Engine
 	end := eng.Now() + duration
